@@ -1,0 +1,55 @@
+"""Ablation — cost-sensitive (Eq. 3) vs conventional 0/1-loss training.
+
+The paper's core ML claim: minimizing expected computation time directly
+beats fitting hard best-policy labels, because prediction errors cost
+what they cost in seconds.  We train both on the same noisy data and
+evaluate total time on a clean held-out set, alongside the oracle and
+the static policies.
+"""
+
+from repro.analysis import format_table
+from repro.autotune import (
+    collect_timing_dataset,
+    sample_mk_cloud,
+    train_cost_sensitive,
+    train_cross_entropy,
+)
+
+
+def test_ablation_cost_sensitive(model, save, benchmark):
+    m, k = sample_mk_cloud(800, seed=11)
+    train = collect_timing_dataset(m, k, model, noise=0.06, repetitions=2, seed=11)
+    me, ke = sample_mk_cloud(500, seed=171)
+    test = collect_timing_dataset(me, ke, model)
+
+    cs = train_cost_sensitive(train, max_iter=1500)
+    ce = train_cross_entropy(train, max_iter=1500)
+    oracle = test.oracle_time()
+    t_cs = cs.expected_time(test.m, test.k, test.times)
+    t_ce = ce.expected_time(test.m, test.k, test.times)
+
+    rows = [
+        ["oracle (ideal hybrid)", oracle, 0.0],
+        ["cost-sensitive (Eq. 3)", t_cs, 100 * (t_cs / oracle - 1)],
+        ["cross-entropy (0/1 loss)", t_ce, 100 * (t_ce / oracle - 1)],
+    ]
+    for p in test.policies:
+        t = test.policy_time(p)
+        rows.append([f"always {p}", t, 100 * (t / oracle - 1)])
+    text = format_table(
+        ["selector", "total seconds", "% over oracle"],
+        rows,
+        title="Ablation — training objective of the policy classifier",
+        float_fmt="{:.3f}",
+    )
+    save("ablation_cost_sensitive", text)
+
+    # cost-sensitive within a few % of the oracle (paper: ~2%)...
+    assert t_cs <= 1.05 * oracle
+    # ...and at least as good as the 0/1-loss classifier
+    assert t_cs <= 1.01 * t_ce
+    # both crush every static policy
+    for p in test.policies:
+        assert t_cs < test.policy_time(p)
+
+    benchmark(lambda: train_cost_sensitive(train.subsample(120), max_iter=150))

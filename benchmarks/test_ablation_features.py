@@ -1,0 +1,54 @@
+"""Ablation — the paper's 8-feature map vs a single flop-count feature.
+
+The paper argues simple threshold(s) on the total number of operations
+(the approach of Schenk et al. [10], and what the baseline hybrid P_BH
+does) cannot capture the policy structure, "which might not be captured
+via simple threshold(s) on the total number of operations"; its learned
+model leans on shape features (m < 122, k < 19, m/k < 2.6, m/k < 11).
+We train the same classifier on (a) the full feature map and (b) total
+ops only, and compare regret against the oracle.
+"""
+
+from repro.analysis import format_table
+from repro.autotune import (
+    FeatureMap,
+    collect_timing_dataset,
+    sample_mk_cloud,
+    train_cost_sensitive,
+)
+
+
+def test_ablation_features(model, save, benchmark):
+    m, k = sample_mk_cloud(400, seed=21)
+    train = collect_timing_dataset(m, k, model, noise=0.05, repetitions=2, seed=21)
+    me, ke = sample_mk_cloud(500, seed=210)
+    test = collect_timing_dataset(me, ke, model)
+    oracle = test.oracle_time()
+
+    full = train_cost_sensitive(train)
+    ops_only = train_cost_sensitive(train, feature_map=FeatureMap(names=("ops",)))
+    log_ops = train_cost_sensitive(
+        train, feature_map=FeatureMap(names=("log_ops",))
+    )
+
+    results = {
+        "full 8-feature map": full.expected_time(test.m, test.k, test.times),
+        "ops only": ops_only.expected_time(test.m, test.k, test.times),
+        "log(ops) only": log_ops.expected_time(test.m, test.k, test.times),
+    }
+    rows = [[name, t, 100 * (t / oracle - 1)] for name, t in results.items()]
+    rows.insert(0, ["oracle", oracle, 0.0])
+    text = format_table(
+        ["feature set", "total seconds", "% over oracle"],
+        rows,
+        title="Ablation — classifier feature set",
+        float_fmt="{:.3f}",
+    )
+    save("ablation_features", text)
+
+    # the full map beats single-feature thresholds
+    assert results["full 8-feature map"] < results["ops only"]
+    assert results["full 8-feature map"] < results["log(ops) only"]
+    assert results["full 8-feature map"] <= 1.05 * oracle
+
+    benchmark(lambda: full.predict(test.m, test.k))

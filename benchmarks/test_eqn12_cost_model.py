@@ -1,0 +1,84 @@
+"""Section IV-B — the Equation 1/2 cost model and the achieved PCIe
+bandwidth.
+
+* beta: the paper measures ~1.4 GB/s effective over the PCIe x8 link;
+  our transfer model averages the pageable/pinned mix to the same value.
+* Equations 1/2 predict per-call times from the stabilized rates; for
+  large calls the prediction error vanishes, for small calls it is
+  large (the justification for empirical auto-tuning over closed-form
+  modeling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.policies import estimate_policy_time, make_policy
+from repro.symbolic.symbolic import factor_update_flops
+
+
+def eq1_time(model, m, k):
+    np_, nt, ns = factor_update_flops(m, k)
+    return (
+        np_ / model.cpu["potrf"].peak
+        + nt / model.cpu["trsm"].peak
+        + ns / model.cpu["syrk"].peak
+    )
+
+
+def eq2_time(model, m, k, beta=1.4e9):
+    np_, nt, ns = factor_update_flops(m, k)
+    word = model.gpu_word
+    return (
+        np_ / model.cpu["potrf"].peak
+        + nt / model.gpu["trsm"].peak
+        + ns / model.gpu["syrk"].peak
+        + (k * k + 2 * m * k) * word / beta
+        + m * m * word / beta
+    )
+
+
+def test_eqn12_cost_model(model, save, benchmark):
+    # --- achieved bandwidth --------------------------------------------
+    nbytes = 64 * 2**20
+    bw_pageable = nbytes / model.transfer_time(nbytes, pinned=False)
+    bw_pinned = nbytes / model.transfer_time(nbytes, pinned=True)
+    bw_avg = (bw_pageable + bw_pinned) / 2
+
+    rows = []
+    checks = []
+    for m, k in [(60, 25), (250, 100), (1000, 400), (4000, 1600), (9000, 3600)]:
+        t1_pred = eq1_time(model, m, k)
+        t1_obs = estimate_policy_time(make_policy("P1"), m, k, model)
+        t2_pred = eq2_time(model, m, k)
+        t2_obs = estimate_policy_time(make_policy("basic"), m, k, model)
+        rows.append(
+            [m, k, t1_pred / t1_obs, t2_pred / t2_obs]
+        )
+        checks.append((m * k * k + m * m * k, t1_pred / t1_obs, t2_pred / t2_obs))
+    text = format_table(
+        ["m", "k", "Eq1/observed (CPU)", "Eq2/observed (basic GPU)"],
+        rows,
+        title="Eq. 1/2 cost-model accuracy",
+        float_fmt="{:.3f}",
+    )
+    text += (
+        f"\nachieved PCIe bandwidth: pageable {bw_pageable/1e9:.2f}, "
+        f"pinned {bw_pinned/1e9:.2f}, mix {bw_avg/1e9:.2f} GB/s "
+        "(paper: ~1.4 GB/s)"
+    )
+    save("eqn12_cost_model", text)
+
+    assert bw_avg / 1e9 == pytest.approx(1.4, rel=0.1)
+    # prediction converges for large calls...
+    big = checks[-1]
+    assert big[1] == pytest.approx(1.0, abs=0.1)
+    assert big[2] == pytest.approx(1.0, abs=0.25)
+    # ...and is noticeably off for the small ones (paper: "the actual
+    # empirical speedups show a variance with respect to the theoretical
+    # ones because ... small and moderate matrices [are] far from the
+    # idealized model")
+    small = checks[0]
+    assert abs(small[2] - 1.0) > 0.15
+
+    benchmark(lambda: [eq2_time(model, 1000, 400) for _ in range(100)])

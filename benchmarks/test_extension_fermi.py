@@ -1,0 +1,83 @@
+"""Extension — the Fermi footnote, instantiated.
+
+Paper, footnote 1: "The latest Fermi offering from Nvidia is expected to
+improve double precision performance significantly."  And the
+conclusion: "The exact point of equivalence depends on the GPU
+architecture and the precision of the computation."
+
+We run the whole pipeline — performance model, retrained classifier,
+end-to-end hybrid — on a Fermi-class (C2050) model whose dp:sp ratio is
+1:2 instead of the T10's 1:8, and check the predictions:
+
+* full double-precision GPU factorization becomes genuinely attractive
+  (no mixed-precision compromise, no iterative-refinement requirement),
+* dp-on-Fermi beats sp-on-T10's *dp-equivalent* path and approaches its
+  sp speedups,
+* the auto-tuning loop ports with zero code changes (the paper's
+  portability claim).
+"""
+
+from repro.analysis import format_table
+from repro.autotune import collect_timing_dataset, sample_mk_cloud, train_cost_sensitive
+from repro.gpu import fermi_c2050_model, tesla_t10_model
+from repro.parallel import list_schedule, make_worker_pool
+from repro.policies import IdealHybrid, ModelHybrid, make_policy
+import numpy as np
+
+
+def speedup(sf, policy, model):
+    serial = list_schedule(
+        sf, make_policy("P1"), make_worker_pool(1, 0, model=model),
+        gang_threshold=np.inf,
+    ).makespan
+    hybrid = list_schedule(
+        sf, policy, make_worker_pool(1, 1, model=model), gang_threshold=np.inf
+    ).makespan
+    return serial / hybrid
+
+
+def test_extension_fermi(suite, save, benchmark):
+    sf = suite.workload("audikw_1")
+    t10 = tesla_t10_model()
+    fermi = fermi_c2050_model()
+
+    configs = {
+        "T10 sp (the paper)": (t10, "sp"),
+        "T10 dp": (t10.with_precision("dp"), "dp"),
+        "Fermi sp": (fermi, "sp"),
+        "Fermi dp (the footnote)": (fermi.with_precision("dp"), "dp"),
+    }
+    rows = []
+    results = {}
+    for label, (model, prec) in configs.items():
+        sp_ideal = speedup(sf, IdealHybrid(model), model)
+        # retrain the classifier against this hardware — the portability loop
+        m, k = sample_mk_cloud(250, seed=41)
+        ds = collect_timing_dataset(m, k, model, noise=0.05, seed=41)
+        clf = train_cost_sensitive(ds, max_iter=400)
+        sp_model = speedup(sf, ModelHybrid(clf), model)
+        results[label] = (sp_ideal, sp_model)
+        rows.append([label, prec, sp_ideal, sp_model])
+    text = format_table(
+        ["configuration", "precision", "ideal-hybrid speedup",
+         "retrained-model speedup"],
+        rows,
+        title="Extension — Fermi-class hardware (audikw_1, paper scale)",
+        float_fmt="{:.2f}",
+    )
+    text += (
+        "\nFermi's 1:2 dp:sp ratio makes native double precision viable — "
+        "no fp32 compromise,\nno refinement requirement — as the paper's "
+        "footnote anticipated."
+    )
+    save("extension_fermi", text)
+
+    # the footnote's predictions
+    assert results["Fermi dp (the footnote)"][0] > 2.5 * results["T10 dp"][0]
+    assert results["Fermi dp (the footnote)"][0] > 0.6 * results["T10 sp (the paper)"][0]
+    assert results["Fermi sp"][0] > results["T10 sp (the paper)"][0]
+    # the retrained model tracks the ideal on every configuration
+    for label, (ideal, modeled) in results.items():
+        assert modeled >= 0.85 * ideal, label
+
+    benchmark(lambda: speedup(sf, IdealHybrid(fermi), fermi))

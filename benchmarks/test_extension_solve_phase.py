@@ -1,0 +1,54 @@
+"""Extension — should the triangular solves be offloaded too?
+
+The paper keeps the solve phase on the host.  This bench justifies that
+choice quantitatively and maps where it flips: the solves are
+bandwidth-bound (4 flops per factor entry), so a cold GPU solve loses
+to the host for one right-hand side, while (a) device-resident factor
+panels or (b) many simultaneous right-hand sides flip the decision —
+the "multiple systems with the same coefficient matrix" scenario the
+introduction motivates direct methods with.
+"""
+
+from repro.analysis import format_table
+from repro.multifrontal.solve_sim import simulate_solve
+
+
+def test_extension_solve_phase(suite, model, save, benchmark):
+    sf = suite.workload("kyushu")
+    rows = []
+    crossover = None
+    for nrhs in (1, 4, 16, 64, 256):
+        cpu = simulate_solve(sf, model, nrhs=nrhs, device="cpu")
+        gpu = simulate_solve(sf, model, nrhs=nrhs, device="gpu")
+        gpu_res = simulate_solve(
+            sf, model, nrhs=nrhs, device="gpu", panels_resident=True
+        )
+        if crossover is None and gpu.seconds < cpu.seconds:
+            crossover = nrhs
+        rows.append(
+            [nrhs, cpu.seconds, gpu.seconds, gpu_res.seconds,
+             cpu.seconds / gpu_res.seconds]
+        )
+    text = format_table(
+        ["nrhs", "CPU s", "GPU (cold) s", "GPU (resident) s",
+         "resident speedup"],
+        rows,
+        title="Extension — solve-phase placement (kyushu, paper scale)",
+        float_fmt="{:.3f}",
+    )
+    text += (
+        f"\ncold-GPU crossover at nrhs ~ {crossover}; single-RHS cold GPU "
+        "loses — the paper's host-side solve is the right default."
+    )
+    save("extension_solve_phase", text)
+
+    # single RHS: host wins against a cold GPU
+    assert rows[0][1] < rows[0][2]
+    # residency always helps the GPU
+    for r in rows:
+        assert r[3] <= r[2]
+    # many RHS: GPU wins even cold
+    assert rows[-1][2] < rows[-1][1]
+    assert crossover is not None and crossover <= 256
+
+    benchmark(lambda: simulate_solve(sf, model, nrhs=16, device="gpu").seconds)

@@ -1,0 +1,71 @@
+"""Figures 10 & 11 — per-policy flop rate and speedup vs total operations.
+
+Paper: P1 dominates below ~2e6 ops, P2 in 2e6-1.5e7, P3 in 1.5e7-9e10,
+and P4 above — the transitions the baseline hybrid P_BH is built from.
+Speedups over the host implementation rise from 1x (small calls) to
+>10x for the largest calls.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.policies import estimate_policy_time, make_policy
+from repro.symbolic.symbolic import factor_update_flops
+
+POLICIES = ("P1", "P2", "P3", "P4")
+
+
+def sweep(model, aspect=3.0, n=26):
+    """Per-policy time across a log sweep of call sizes (m = aspect*k)."""
+    out = []
+    for k in np.unique(np.logspace(0.8, 4.0, n).astype(int)):
+        m = int(aspect * k)
+        ops = sum(factor_update_flops(m, k))
+        times = {
+            p: estimate_policy_time(make_policy(p), m, k, model) for p in POLICIES
+        }
+        out.append((m, k, ops, times))
+    return out
+
+
+def test_fig10_fig11_policy_rates(model, save, benchmark):
+    data = sweep(model)
+    rows10, rows11 = [], []
+    for m, k, ops, times in data:
+        rows10.append([f"{ops:.2e}"] + [ops / times[p] / 1e9 for p in POLICIES])
+        rows11.append(
+            [f"{ops:.2e}"] + [times["P1"] / times[p] for p in POLICIES]
+        )
+    text = format_table(
+        ["ops"] + [f"{p} GF/s" for p in POLICIES], rows10,
+        title="Fig 10 — flop rate per policy", float_fmt="{:.2f}",
+    )
+    text += "\n\n" + format_table(
+        ["ops"] + [f"{p} speedup" for p in POLICIES], rows11,
+        title="Fig 11 — speedup vs host CPU per policy", float_fmt="{:.2f}",
+    )
+    # best-policy transitions along the sweep
+    winners = [
+        (ops, min(times, key=times.get)) for _, _, ops, times in data
+    ]
+    text += "\n\nbest policy along the sweep (m = 3k):\n" + "\n".join(
+        f"  {ops:.2e}: {w}" for ops, w in winners
+    )
+    save("fig10_fig11_policy_rates", text)
+
+    # paper structure: P1 wins small, then P2, then P3/P4; speedups >10x
+    # for the largest calls
+    assert winners[0][1] == "P1"
+    order = [w for _, w in winners]
+    assert "P2" in order or "P3" in order
+    assert order[-1] in ("P3", "P4")
+    # transitions are ordered: last P1 win before first P3/P4 win
+    last_p1 = max(o for o, w in winners if w == "P1")
+    first_gpu = min(o for o, w in winners if w in ("P3", "P4"))
+    assert last_p1 < first_gpu
+    # the paper's P1 band edge (~2e6 ops) within a factor ~4
+    assert 3e5 < last_p1 < 1e7
+    big = data[-1]
+    assert big[3]["P1"] / min(big[3].values()) > 8.0
+
+    benchmark(lambda: sweep(model, n=8))

@@ -1,0 +1,65 @@
+"""Figure 12 — ideal / model / baseline hybrid policy maps, 0 <= m,k <= 1000.
+
+Paper observations encoded below:
+* low m and k: P1 (host) everywhere,
+* moderate k with larger m: P2 (syrk offload),
+* large k: P4; the bulk of the large-m region: P3,
+* the model map resembles the ideal map far more than the threshold
+  baseline does.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_policy_map
+from repro.autotune import train_default_classifier
+from repro.policies import BaselineHybrid, IdealHybrid, ModelHybrid
+
+BIN = 50
+EXTENT = 1000
+
+
+def policy_grid(chooser):
+    n = EXTENT // BIN
+    grid = np.empty((n, n), dtype=object)
+    for i in range(n):          # k bins (rows)
+        for j in range(n):      # m bins (cols)
+            m = j * BIN + BIN // 2
+            k = i * BIN + BIN // 2
+            grid[i, j] = chooser(m, k)
+    return grid
+
+
+def agreement(a, b):
+    return float(np.mean(a == b))
+
+
+def test_fig12_policy_map_small(model, suite, save, benchmark):
+    ideal = IdealHybrid(model)
+    mh = ModelHybrid(suite.classifier())
+    bh = BaselineHybrid()
+
+    g_ideal = policy_grid(ideal.choose)
+    g_model = policy_grid(mh.choose)
+    g_base = policy_grid(bh.choose)
+
+    text = "\n\n".join(
+        [
+            ascii_policy_map(g_ideal, title="Fig 12(a) — ideal hybrid (m right, k up; 0..1000)"),
+            ascii_policy_map(g_model, title="Fig 12(b) — model hybrid"),
+            ascii_policy_map(g_base, title="Fig 12(c) — baseline hybrid"),
+        ]
+    )
+    am = agreement(g_model, g_ideal)
+    ab = agreement(g_base, g_ideal)
+    text += f"\n\nagreement with ideal: model {am:.1%}, baseline {ab:.1%}"
+    save("fig12_policy_map_small", text)
+
+    # corner structure of the ideal map
+    assert g_ideal[0, 0] == "P1"            # small m, small k
+    assert g_ideal[-1, 0] in ("P4",)        # m small, k large: all-GPU
+    assert "P3" in set(g_ideal[5:, 10:].ravel().tolist())
+    # model tracks ideal better than the flop-threshold baseline
+    assert am > ab
+    assert am > 0.6
+
+    benchmark(lambda: policy_grid(bh.choose))

@@ -1,0 +1,57 @@
+"""Figure 13 — hybrid policy maps for 0 <= m, k <= 10000 (the full range
+of the paper's plots; 500 x 500 bins like the original).
+
+At this extent the paper's maps are dominated by the GPU policies: P4
+rules the large-k band (including the m = 0 root line), P3 the bulk,
+with P1/P2 confined to the lowest bins.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_policy_map
+from repro.policies import BaselineHybrid, IdealHybrid, ModelHybrid
+
+BIN = 500
+EXTENT = 10000
+
+
+def policy_grid(chooser):
+    n = EXTENT // BIN
+    grid = np.empty((n, n), dtype=object)
+    for i in range(n):
+        for j in range(n):
+            m = j * BIN + BIN // 2
+            k = i * BIN + BIN // 2
+            grid[i, j] = chooser(m, k)
+    return grid
+
+
+def test_fig13_policy_map_large(model, suite, save, benchmark):
+    ideal = IdealHybrid(model)
+    mh = ModelHybrid(suite.classifier())
+    bh = BaselineHybrid()
+    g_ideal = policy_grid(ideal.choose)
+    g_model = policy_grid(mh.choose)
+    g_base = policy_grid(bh.choose)
+    text = "\n\n".join(
+        [
+            ascii_policy_map(g_ideal, title="Fig 13(a) — ideal hybrid (0..10000)"),
+            ascii_policy_map(g_model, title="Fig 13(b) — model hybrid"),
+            ascii_policy_map(g_base, title="Fig 13(c) — baseline hybrid"),
+        ]
+    )
+    am = float(np.mean(g_model == g_ideal))
+    ab = float(np.mean(g_base == g_ideal))
+    text += f"\n\nagreement with ideal: model {am:.1%}, baseline {ab:.1%}"
+    save("fig13_policy_map_large", text)
+
+    flat = set(g_ideal.ravel().tolist())
+    # at this extent every bin is GPU territory
+    assert flat <= {"P2", "P3", "P4"}
+    assert "P3" in flat and "P4" in flat
+    # P4 wins where k is large relative to m (the potrf-heavy band)
+    assert g_ideal[-1, 0] == "P4"
+    assert g_ideal[0, -1] == "P3"
+    assert am >= ab
+
+    benchmark(lambda: policy_grid(bh.choose))

@@ -1,0 +1,69 @@
+"""Figure 14 — speedup of the hybrid policies over the host CPU per
+(m, k) bin.
+
+Paper: speedups grow steadily from 1x in the small-call corner (where P1
+is optimal) to 12-13x for the largest calls (P3/P4 territory).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_heatmap
+from repro.policies import (
+    BaselineHybrid,
+    IdealHybrid,
+    ModelHybrid,
+    estimate_policy_time,
+    make_policy,
+)
+
+BIN = 500
+EXTENT = 10000
+BASE = {p: make_policy(p) for p in ("P1", "P2", "P3", "P4")}
+
+
+def speedup_grid(model, chooser):
+    n = EXTENT // BIN
+    grid = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            m = j * BIN + BIN // 2
+            k = i * BIN + BIN // 2
+            t1 = estimate_policy_time(BASE["P1"], m, k, model)
+            tc = estimate_policy_time(BASE[chooser(m, k)], m, k, model)
+            grid[i, j] = t1 / tc
+    return grid
+
+
+def test_fig14_hybrid_speedup_map(model, suite, save, benchmark):
+    ideal = IdealHybrid(model)
+    mh = ModelHybrid(suite.classifier())
+    bh = BaselineHybrid()
+    grids = {
+        "ideal": speedup_grid(model, ideal.choose),
+        "model": speedup_grid(model, mh.choose),
+        "baseline": speedup_grid(model, bh.choose),
+    }
+    text = "\n\n".join(
+        ascii_heatmap(
+            g, title=f"Fig 14 — speedup over host CPU, {name} hybrid",
+            fmt="{:.1f}",
+        )
+        for name, g in grids.items()
+    )
+    text += "\n\nmax speedups: " + ", ".join(
+        f"{name} {g.max():.1f}x" for name, g in grids.items()
+    )
+    save("fig14_hybrid_speedup_map", text)
+
+    for name, g in grids.items():
+        # speedups never (meaningfully) below 1 for the ideal, and the
+        # largest bins reach the paper's 12-13x band
+        assert g.max() > 9.0, name
+        # thin-k / huge-m band: transfer- and apply-bound, modest speedup
+        assert g[0, -1] > 2.0, name
+    assert grids["ideal"].min() >= 0.99
+    # ideal dominates the other hybrids cell-wise
+    assert (grids["ideal"] >= grids["model"] - 1e-9).all()
+    assert (grids["ideal"] >= grids["baseline"] - 1e-9).all()
+
+    benchmark(lambda: speedup_grid(model, bh.choose))

@@ -1,0 +1,69 @@
+"""Figure 2(a-c) — distribution of F-U computation time over the m x k grid.
+
+The paper bins all factor-update calls of the suite on a 500x500-bin
+grid up to 10000 and plots the fraction of total time per bin for (a)
+the host CPU implementation, (b) the basic GPU implementation including
+copies, and (c) the same excluding copies.  Our matrices are ~100x
+smaller, so the grid scales to 50x50 bins up to 1000 (same 20x20 bin
+resolution as the paper).
+
+Shape assertions (the paper's observations):
+* ~97% of calls fall in the small-call corner (k <= 500, m <= 1000 in
+  paper units; k <= 50, m <= 100 here),
+* yet most *time* is in bins with moderate/large matrices,
+* including copy time shifts weight toward smaller bins (Fig 2b vs 2c).
+"""
+
+import numpy as np
+
+from repro.analysis import GridBinner, ascii_heatmap, time_fraction_grid
+from repro.analysis.instrument import records_mk
+
+BINNER = GridBinner(bin_size=50, extent=1000)
+
+
+def weighted_large_share(records, grid, binner):
+    """Fraction of time in bins beyond the first row+column block."""
+    large = grid.copy()
+    large[0, 0] = 0.0
+    return large.sum()
+
+
+def test_fig2_load_distribution(suite, save, benchmark):
+    cpu_records = suite.all_records("P1")
+    gpu_records = suite.all_records("basic")
+
+    grid_a = time_fraction_grid(cpu_records, BINNER)
+    grid_b = time_fraction_grid(gpu_records, BINNER, include_copy=True)
+    grid_c = time_fraction_grid(gpu_records, BINNER, include_copy=False)
+
+    text = "\n\n".join(
+        [
+            ascii_heatmap(grid_a, title="Fig 2(a) — fraction of F-U time, host CPU"),
+            ascii_heatmap(grid_b, title="Fig 2(b) — basic GPU incl. copy"),
+            ascii_heatmap(grid_c, title="Fig 2(c) — basic GPU excl. copy"),
+        ]
+    )
+
+    # paper: ~97% of calls are small (k <= 500, m <= 1000 at paper scale)
+    m, k = records_mk(cpu_records)
+    small_calls = float(((k <= 50) & (m <= 100)).mean())
+    text += f"\n\nsmall-call share (k<=50, m<=100): {small_calls:.1%} (paper: ~97%)"
+
+    # most time nevertheless sits outside the smallest bin
+    large_a = weighted_large_share(cpu_records, grid_a, BINNER)
+    large_b = weighted_large_share(gpu_records, grid_b, BINNER)
+    large_c = weighted_large_share(gpu_records, grid_c, BINNER)
+    text += (
+        f"\ntime share beyond the smallest bin: CPU {large_a:.1%}, "
+        f"GPU w/copy {large_b:.1%}, GPU w/o copy {large_c:.1%}"
+    )
+    save("fig2_load_distribution", text)
+
+    assert small_calls > 0.85
+    assert large_a > 0.5, "large calls must dominate CPU time"
+    # Fig 2b vs 2c: counting copies shifts weight toward small calls,
+    # i.e. the small-bin share grows when copies are included
+    assert grid_b[0, 0] > grid_c[0, 0]
+
+    benchmark(lambda: time_fraction_grid(cpu_records, BINNER))

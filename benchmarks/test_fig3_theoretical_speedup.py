@@ -1,0 +1,75 @@
+"""Figure 3 — theoretical vs observed speedup of the basic GPU implementation.
+
+The paper derives per-call times from Equations 1 and 2,
+
+    T_CPU = N_P/a_P + N_T/a_T + N_S/a_S
+    T_GPU = N_P/a_P(cpu) + N_T/a_T(gpu) + N_S/a_S(gpu)
+            + N_D(L1,L2)/beta + N_D(L2 L2^T)/beta,
+
+with stabilized rates a and achieved bandwidth beta ~= 1.4 GB/s, and
+compares the predicted speedup with observations: predictions are good
+for large calls but optimistic for small/moderate ones ("the performance
+of the dense kernels for small and moderate matrices is far from the
+idealized model").
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.policies import estimate_policy_time, make_policy
+from repro.symbolic.symbolic import factor_update_flops
+
+
+def theoretical_speedup(model, m, k):
+    """Eq. 1 / Eq. 2 with asymptotic rates (no latencies)."""
+    np_, nt, ns = factor_update_flops(m, k)
+    t_cpu = np_ / model.cpu["potrf"].peak + nt / model.cpu["trsm"].peak + ns / model.cpu["syrk"].peak
+    beta = 1.4e9
+    word = model.gpu_word
+    nd_up = (k * k + 2 * m * k) * word
+    nd_down = m * m * word
+    t_gpu = (
+        np_ / model.cpu["potrf"].peak
+        + nt / model.gpu["trsm"].peak
+        + ns / model.gpu["syrk"].peak
+        + nd_up / beta
+        + nd_down / beta
+    )
+    return t_cpu / t_gpu
+
+
+def observed_speedup(model, m, k):
+    t_cpu = estimate_policy_time(make_policy("P1"), m, k, model)
+    t_gpu = estimate_policy_time(make_policy("basic"), m, k, model)
+    return t_cpu / t_gpu
+
+
+def test_fig3_theoretical_speedup(model, save, benchmark):
+    shapes = [
+        (50, 20), (100, 40), (200, 80), (400, 150), (800, 300),
+        (1600, 600), (3200, 1200), (6400, 2400), (9000, 4000),
+    ]
+    rows = []
+    for m, k in shapes:
+        ops = sum(factor_update_flops(m, k))
+        th = theoretical_speedup(model, m, k)
+        ob = observed_speedup(model, m, k)
+        rows.append([m, k, ops, th, ob, ob / th])
+    text = format_table(
+        ["m", "k", "total ops", "theoretical", "observed", "obs/theory"],
+        rows,
+        title="Fig 3 — theoretical vs observed basic-GPU speedup",
+        float_fmt="{:.3g}",
+    )
+    save("fig3_theoretical_speedup", text)
+
+    # paper shape: observed lags theory for small calls, converges for
+    # large ones; both climb well past 1x for the biggest calls
+    small_ratio = rows[0][5]
+    large_ratio = rows[-1][5]
+    assert small_ratio < large_ratio
+    assert large_ratio > 0.75
+    assert rows[-1][4] > 3.0       # large calls see real speedup
+    assert rows[0][4] < 1.0        # small calls are slower on the GPU
+
+    benchmark(lambda: [observed_speedup(model, m, k) for m, k in shapes[:4]])

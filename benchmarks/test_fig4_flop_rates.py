@@ -1,0 +1,51 @@
+"""Figure 4 — observed flop rate for large trsm/syrk calls, CPU vs GPU.
+
+Rates ramp with operation count (launch latency amortizes) and saturate
+at the stabilized values of Table III; GPU curves sit ~15x above the CPU
+ones at saturation.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+
+
+def series(model, device, kernel, aspect=4.0):
+    rows = []
+    for k in (16, 32, 64, 128, 256, 512, 1024, 2048, 4096):
+        m = int(k * aspect)
+        ops = m * k * k if kernel == "trsm" else m * m * k
+        rate = model.kernel_rate(device, kernel, m=m, k=k)
+        rows.append((ops, rate))
+    return rows
+
+
+def test_fig4_flop_rates(model, save, benchmark):
+    lines = ["Fig 4 — observed flop rate (GF/s) vs number of operations"]
+    data = {}
+    for device in ("cpu", "gpu"):
+        for kernel in ("trsm", "syrk"):
+            data[(device, kernel)] = series(model, device, kernel)
+            rows = [[f"{o:.2e}", r / 1e9] for o, r in data[(device, kernel)]]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["ops", "GF/s"], rows, title=f"{kernel}-{device.upper()}",
+                    float_fmt="{:.2f}",
+                )
+            )
+    save("fig4_flop_rates", "\n".join(lines))
+
+    for (device, kernel), rows in data.items():
+        rates = [r for _, r in rows]
+        # monotone ramp to saturation
+        assert all(b >= a * 0.99 for a, b in zip(rates, rates[1:])), (device, kernel)
+        peak = model.cpu[kernel].peak if device == "cpu" else model.gpu[kernel].peak
+        assert rates[-1] > 0.85 * peak
+    # the paper's crossing structure: GPU slower than CPU for the
+    # smallest calls, ~15x faster at saturation
+    assert data[("gpu", "syrk")][0][1] < data[("cpu", "syrk")][0][1]
+    assert data[("gpu", "syrk")][-1][1] > 12 * data[("cpu", "syrk")][-1][1]
+    assert data[("gpu", "trsm")][-1][1] > 12 * data[("cpu", "trsm")][-1][1]
+
+    benchmark(lambda: series(model, "gpu", "syrk"))

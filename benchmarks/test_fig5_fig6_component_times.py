@@ -1,0 +1,81 @@
+"""Figures 5 & 6 — per-component timings (absolute and fractional) for the
+host CPU and basic GPU implementations, against the call's operation count.
+
+Paper observations reproduced here:
+* trsm and syrk on the GPU are *more* expensive than on the CPU for small
+  calls (#ops < 1e5) and cheaper for large calls (#ops > 1e8 at paper
+  scale; our scaled problems cross within their range),
+* copy time is a large fraction for small calls and fades for large ones.
+"""
+
+import numpy as np
+
+from repro.analysis import component_fractions, component_times, format_table
+from repro.analysis.instrument import rate_series
+
+
+def test_fig5_fig6_component_times(suite, save, benchmark):
+    cpu_records = suite.all_records("P1")
+    gpu_records = suite.all_records("basic")
+
+    cpu = component_times(cpu_records)
+    gpu = component_times(gpu_records)
+    gpu_frac = component_fractions(gpu_records)
+
+    # log-binned series for the text figure
+    lines = ["Fig 5 — component busy seconds vs total ops (log-binned medians)"]
+    for label, data, comps in (
+        ("host CPU", cpu, ("potrf", "trsm", "syrk")),
+        ("basic GPU", gpu, ("potrf", "trsm", "syrk", "copy")),
+    ):
+        lines.append(f"\n[{label}]")
+        for comp in comps:
+            centers, rates = rate_series(data["ops"], np.maximum(data[comp], 1e-12))
+            # rate_series returns ops/second; invert into seconds per call band
+            rows = [[f"{c:.1e}", f"{c / r:.2e}"] for c, r in zip(centers, rates)][::4]
+            lines.append(
+                format_table(["ops", "seconds"], rows, title=f"  {comp}")
+            )
+    lines.append("\nFig 6 — fractional copy time on the basic GPU implementation")
+    ops = gpu_frac["ops"]
+    order = np.argsort(ops)
+    sel = order[:: max(1, order.size // 12)]
+    rows = [
+        [f"{ops[i]:.1e}", gpu_frac["copy"][i], gpu_frac["potrf"][i],
+         gpu_frac["trsm"][i] + gpu_frac["syrk"][i]]
+        for i in sel
+    ]
+    lines.append(
+        format_table(
+            ["ops", "copy frac", "potrf frac", "trsm+syrk frac"], rows,
+            float_fmt="{:.2f}",
+        )
+    )
+    save("fig5_fig6_component_times", "\n".join(lines))
+
+    # --- assertions on the paper's observations ------------------------
+    # 1. small calls: GPU trsm+syrk slower than CPU; large calls: faster
+    def total_kernel_time(recs, small):
+        out = 0.0
+        for r in recs:
+            if (r.total_flops < 1e5) == small:
+                out += r.components.get("trsm", 0) + r.components.get("syrk", 0)
+        return out
+
+    assert total_kernel_time(gpu_records, small=True) > total_kernel_time(
+        cpu_records, small=True
+    )
+    big_gpu = total_kernel_time(gpu_records, small=False)
+    big_cpu = total_kernel_time(cpu_records, small=False)
+    assert big_gpu < big_cpu
+
+    # 2. copy fraction fades as calls grow: an O(n^2)-bytes /
+    # O(n^3)-flops effect that needs paper-scale fronts to be visible
+    paper_gpu = suite.paper_records("basic", workloads=("audikw_1",))
+    pf = component_fractions(paper_gpu)
+    pops = pf["ops"]
+    small_mask = pops < np.quantile(pops, 0.3)
+    large_mask = pops > np.quantile(pops, 0.98)
+    assert pf["copy"][small_mask].mean() > 1.5 * pf["copy"][large_mask].mean()
+
+    benchmark(lambda: component_fractions(gpu_records))

@@ -1,0 +1,66 @@
+"""Figure 7 — trsm flop rate: CPU vs GPU-with-copy vs GPU-without-copy,
+and the CPU->GPU transition points.
+
+Paper: the tipping point above which the GPU wins is ~4e5 operations
+without copy costs and ~3e6 with them (synchronous copies included).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+
+
+def times(model, m, k):
+    """(cpu, gpu_with_copy, gpu_no_copy) seconds for one trsm of (m, k)."""
+    t_cpu = model.kernel_time("cpu", "trsm", m=m, k=k)
+    t_gpu = model.kernel_time("gpu", "trsm", m=m, k=k)
+    word = model.gpu_word
+    # paper accounting: copy L1 and L2 up, L2 back
+    copy = (
+        model.transfer_time(k * k * word, pinned=False)
+        + model.transfer_time(m * k * word, pinned=False)
+        + model.transfer_time(m * k * word, pinned=False)
+    )
+    return t_cpu, t_gpu + copy, t_gpu
+
+
+def crossover(model, with_copy, aspect=0.4):
+    """Smallest ops count (log sweep, m = aspect*k shapes) where GPU wins."""
+    for k in np.unique(np.logspace(1, 3.6, 200).astype(int)):
+        m = max(1, int(aspect * k))
+        t_cpu, t_wc, t_nc = times(model, m, k)
+        t_gpu = t_wc if with_copy else t_nc
+        if t_gpu < t_cpu:
+            return m * k * k
+    return np.inf
+
+
+def test_fig7_trsm_transition(model, save, benchmark):
+    rows = []
+    for k in (32, 64, 128, 256, 512, 1024, 2048):
+        m = int(0.4 * k)
+        ops = m * k * k
+        t_cpu, t_wc, t_nc = times(model, m, k)
+        rows.append(
+            [f"{ops:.2e}", ops / t_cpu / 1e9, ops / t_wc / 1e9, ops / t_nc / 1e9]
+        )
+    x_nc = crossover(model, with_copy=False)
+    x_wc = crossover(model, with_copy=True)
+    text = format_table(
+        ["ops", "CPU GF/s", "GPU w/ copy GF/s", "GPU w/o copy GF/s"],
+        rows,
+        title="Fig 7 — trsm flop rate by variant",
+        float_fmt="{:.2f}",
+    )
+    text += (
+        f"\ntransition points: no-copy {x_nc:.2e} ops (paper ~4e5), "
+        f"with-copy {x_wc:.2e} ops (paper ~3e6)"
+    )
+    save("fig7_trsm_transition", text)
+
+    # the paper's transition points, within a factor of ~3
+    assert 1.3e5 < x_nc < 1.2e6
+    assert 1e6 < x_wc < 9e6
+    assert x_wc > x_nc
+
+    benchmark(lambda: crossover(model, with_copy=True))

@@ -1,0 +1,70 @@
+"""Figure 8 — syrk flop rate by variant and its transition points.
+
+Paper: without copy costs the GPU overtakes the CPU at ~1.5e5 ops; with
+copy costs there is a broad 1e6-1e7 band with "no clear winner" (the
+crossover depends on the call's aspect ratio), and the decisive
+transition sits much later — which is why optimizing copies matters for
+moderate calls.  The rate curves are jagged because CUBLAS pads to data
+tiles.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+
+
+def times(model, m, k):
+    t_cpu = model.kernel_time("cpu", "syrk", m=m, k=k)
+    t_gpu = model.kernel_time("gpu", "syrk", m=m, k=k)
+    word = model.gpu_word
+    # L2 up; W = L2 L2^T down (paper: only W matters, L1/L2 negligible)
+    copy = model.transfer_time(m * k * word, pinned=False) + model.transfer_time(
+        m * m * word, pinned=False
+    )
+    return t_cpu, t_gpu + copy, t_gpu
+
+
+def crossover(model, with_copy, aspect):
+    for k in np.unique(np.logspace(0.7, 3.6, 300).astype(int)):
+        m = max(1, int(aspect * k))
+        t_cpu, t_wc, t_nc = times(model, m, k)
+        if (t_wc if with_copy else t_nc) < t_cpu:
+            return m * m * k
+    return np.inf
+
+
+def test_fig8_syrk_transition(model, save, benchmark):
+    rows = []
+    for k in (16, 32, 64, 128, 256, 512, 1024):
+        m = 3 * k
+        ops = m * m * k
+        t_cpu, t_wc, t_nc = times(model, m, k)
+        rows.append(
+            [f"{ops:.2e}", ops / t_cpu / 1e9, ops / t_wc / 1e9, ops / t_nc / 1e9]
+        )
+    x_nc = crossover(model, with_copy=False, aspect=3.0)
+    # with copies the crossover smears with aspect ratio: report the band
+    xs_wc = [crossover(model, with_copy=True, aspect=a) for a in (0.5, 1, 2, 4, 8)]
+    text = format_table(
+        ["ops", "CPU GF/s", "GPU w/ copy GF/s", "GPU w/o copy GF/s"],
+        rows,
+        title="Fig 8 — syrk flop rate by variant",
+        float_fmt="{:.2f}",
+    )
+    text += (
+        f"\ntransition: no-copy {x_nc:.2e} ops (paper ~1.5e5); "
+        f"with-copy band {min(xs_wc):.2e}..{max(xs_wc):.2e} across aspect "
+        "ratios (paper: no clear winner in 1e6-1e7)"
+    )
+    # jaggedness: nominal rate dips just past a tile boundary
+    r_at = lambda mm, kk: (mm * mm * kk) / model.kernel_time("gpu", "syrk", m=mm, k=kk)
+    text += f"\njagged: rate(m=512,k=64)={r_at(512,64)/1e9:.1f} vs rate(m=513,k=65)={r_at(513,65)/1e9:.1f} GF/s"
+    save("fig8_syrk_transition", text)
+
+    assert 5e4 < x_nc < 6e5
+    # the with-copy band overlaps the paper's 1e6-1e7 grey zone
+    assert min(xs_wc) < 1e7 and max(xs_wc) > 1e6
+    assert min(xs_wc) > x_nc
+    assert r_at(513, 65) < r_at(512, 64)
+
+    benchmark(lambda: crossover(model, with_copy=False, aspect=3.0))

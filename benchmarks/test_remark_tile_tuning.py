@@ -1,0 +1,52 @@
+"""Section V-A3 remark — tuning CUBLAS tile/thread parameters barely
+matters: "we experimented with 17 different configurations ... for syrk
+for the matrix kyushu and found that the range of variation was less
+than 0.5%".
+
+We sweep the syrk tile size over a plausible set of configurations and
+measure the total syrk time of the kyushu workload's call mix under each:
+the spread must be small (launch cost and narrow-k efficiency, not tile
+choice, govern performance).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.gpu.perfmodel import KernelParams
+
+
+def syrk_total(model, tile, calls):
+    p = model.gpu["syrk"]
+    tuned = replace(model, gpu_sp={**model.gpu_sp, "syrk": KernelParams(
+        launch_latency=p.launch_latency, peak=p.peak,
+        narrow_half=p.narrow_half, tile=tile,
+    )})
+    return sum(tuned.kernel_time("gpu", "syrk", m=m, k=k) for m, k in calls)
+
+
+def test_remark_tile_tuning(suite, model, save, benchmark):
+    sf = suite.workload("kyushu")
+    mk = sf.mk_pairs()
+    calls = [(int(m), int(k)) for m, k in mk if m > 0]
+    tiles = (8, 16, 24, 32, 48, 64)
+    totals = {t: syrk_total(model, t, calls) for t in tiles}
+    base = totals[32]
+    rows = [[t, totals[t], 100 * (totals[t] / base - 1)] for t in tiles]
+    text = format_table(
+        ["tile", "total syrk seconds", "% vs tile=32"],
+        rows,
+        title="V-A3 — syrk tile-size sweep on the kyushu call mix",
+        float_fmt="{:.3f}",
+    )
+    text += "\npaper: <0.5% variation over 17 configurations"
+    save("remark_tile_tuning", text)
+
+    spread = (max(totals.values()) - min(totals.values())) / base
+    # small spread (our tile model charges padding, so a few % rather
+    # than the paper's <0.5%, but an order of magnitude below the 2-13x
+    # policy effects)
+    assert spread < 0.08
+
+    benchmark(lambda: syrk_total(model, 32, calls[:500]))

@@ -1,0 +1,27 @@
+"""Table I — GPU specification.
+
+The paper's Table I documents the Tesla T10 configuration the policies
+were calibrated against; our reproduction carries the same record as the
+simulation's hardware description.  The benchmark times performance-model
+construction (the "boot" cost of the simulated node).
+"""
+
+from repro.analysis import format_table
+from repro.gpu import TESLA_T10, tesla_t10_model
+
+
+def test_table1_gpu_spec(save, benchmark):
+    rows = TESLA_T10.table_rows()
+    text = format_table(["field", "value"], rows, title="Table I — GPU specification")
+    save("table1_gpu_spec", text)
+
+    # the values the paper prints
+    d = dict(rows)
+    assert d["Clock (GHz)"] == "1.3"
+    assert d["Scalar Cores"].startswith("240")
+    assert "102" in d["Memory b/w (GB/s)"]
+    assert d["Memory size"] == "4 GB"
+    assert d["Local Store (KB)"] == "16 per SM"
+    assert TESLA_T10.peak_sp_gflops / TESLA_T10.peak_dp_gflops == 8.0
+
+    benchmark(tesla_t10_model)

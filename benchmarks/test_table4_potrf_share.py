@@ -1,0 +1,80 @@
+"""Table IV — total potrf time and its share of the F-U total.
+
+Paper: potrf (always on the host in the basic implementation) is < 8% of
+the host implementation's time, but becomes 24-46% (with copies) / 40-55%
+(without) of the basic GPU implementation's — because everything *else*
+got faster.  This motivates policy P4's on-device blocked potrf.
+Additionally, the potrf cost concentrates near the root: for kyushu the
+top calls carry ~96% of all potrf time.
+
+Run at paper scale (the synthetic Table II workloads); the share effect
+is a large-front phenomenon that the ~20x-down numeric suite cannot
+show.
+"""
+
+from repro.analysis import format_table
+from repro.workload import PAPER_WORKLOADS
+
+PAPER_ROWS = {
+    # matrix: (potrf s, %Host, %GPU w/o copy, %GPU w/ copy)
+    "audikw_1": (28.75, 5.43, 43.28, 29.54),
+    "kyushu": (96.43, 7.48, 55.50, 46.17),
+    "lmco": (20.86, 7.10, 48.32, 30.83),
+    "nastran-b": (17.53, 5.95, 39.66, 24.46),
+    "sgi_1M": (41.87, 5.15, 41.48, 27.85),
+}
+
+
+def shares(records):
+    potrf = sum(r.components.get("potrf", 0.0) for r in records)
+    with_copy = sum(sum(r.components.values()) for r in records)
+    without = sum(
+        sum(v for c, v in r.components.items() if c not in ("copy", "alloc"))
+        for r in records
+    )
+    return potrf, with_copy, without
+
+
+def test_table4_potrf_share(suite, save, benchmark):
+    rows = []
+    checks = []
+    for spec in PAPER_WORKLOADS:
+        cpu = suite.paper_records("P1", workloads=(spec.name,))
+        gpu = suite.paper_records("basic", workloads=(spec.name,))
+        p_cpu, tot_cpu, _ = shares(cpu)
+        p_gpu, tot_gpu_wc, tot_gpu_woc = shares(gpu)
+        pct_host = 100 * p_cpu / tot_cpu
+        pct_gpu_woc = 100 * p_gpu / tot_gpu_woc
+        pct_gpu_wc = 100 * p_gpu / tot_gpu_wc
+        per_call = sorted(
+            (r.components.get("potrf", 0.0) for r in gpu), reverse=True
+        )
+        top10 = sum(per_call[:10]) / max(p_gpu, 1e-30)
+        paper = PAPER_ROWS[spec.paper_name]
+        rows.append(
+            [spec.name, p_gpu, pct_host, pct_gpu_woc, pct_gpu_wc,
+             100 * top10, paper[1], paper[2], paper[3]]
+        )
+        checks.append((pct_host, pct_gpu_woc, pct_gpu_wc, top10))
+    text = format_table(
+        ["matrix", "potrf (s)", "%Host", "%GPU w/o cp", "%GPU w/ cp",
+         "top-10 %", "paper %Host", "paper w/o", "paper w/"],
+        rows,
+        title="Table IV — potrf time and share of total F-U time (paper scale)",
+        float_fmt="{:.1f}",
+    )
+    save("table4_potrf_share", text)
+
+    for pct_host, pct_woc, pct_wc, top10 in checks:
+        # host: potrf a small share (paper 5.2-7.5%)
+        assert pct_host < 12.0
+        # basic GPU: potrf share balloons (paper 40-55% w/o copies)
+        assert pct_woc > 3.0 * pct_host
+        assert pct_woc > 25.0
+        # including copies dilutes the share (paper 24-46%)
+        assert pct_wc < pct_woc
+        # potrf concentrates near the root (paper: top ten calls ~96%
+        # for kyushu)
+        assert top10 > 0.5
+
+    benchmark(lambda: shares(suite.paper_records("P1", workloads=("lmco",))))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The auto-tuning loop — train a cost-sensitive policy classifier.
+
+Reproduces the paper's Section VI pipeline end to end:
+
+1. sample factor-update calls (m, k) and *measure* them under each of
+   the four policies on the simulated node (with measurement noise),
+2. fit the multinomial-logistic classifier by directly minimizing the
+   expected computation time (Eq. 3), warm-started from the conventional
+   0/1-loss fit,
+3. compare the learned selector against the oracle, the flop-threshold
+   baseline, and each static policy,
+4. print the learned policy map (the paper's Figure 12).
+
+Run:  python examples/autotune_policies.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_policy_map, format_table
+from repro.autotune import (
+    collect_timing_dataset,
+    sample_mk_cloud,
+    train_cost_sensitive,
+    train_cross_entropy,
+)
+from repro.gpu import tesla_t10_model
+from repro.policies import BaselineHybrid
+
+
+def main() -> None:
+    model = tesla_t10_model()
+
+    # 1. empirical timing data (noisy, two repetitions per call)
+    m, k = sample_mk_cloud(500, seed=7)
+    train = collect_timing_dataset(m, k, model, noise=0.05, repetitions=2, seed=7)
+    print(f"training data: {train.n} observations x {len(train.policies)} policies")
+
+    # 2. fit both objectives
+    cs = train_cost_sensitive(train)
+    ce = train_cross_entropy(train)
+
+    # 3. held-out evaluation
+    me, ke = sample_mk_cloud(600, seed=70)
+    test = collect_timing_dataset(me, ke, model)
+    oracle = test.oracle_time()
+    bh = BaselineHybrid()
+    idx = {p: i for i, p in enumerate(test.policies)}
+    t_bh = sum(
+        test.times[i, idx[bh.choose(int(test.m[i]), int(test.k[i]))]]
+        for i in range(test.n)
+    )
+    rows = [
+        ["oracle (ideal hybrid)", oracle, 0.0],
+        ["cost-sensitive model", cs.expected_time(test.m, test.k, test.times),
+         None],
+        ["0/1-loss model", ce.expected_time(test.m, test.k, test.times), None],
+        ["flop-threshold baseline", t_bh, None],
+    ] + [[f"always {p}", test.policy_time(p), None] for p in test.policies]
+    for row in rows:
+        row[2] = 100.0 * (row[1] / oracle - 1.0)
+    print(format_table(
+        ["selector", "total seconds", "% over oracle"],
+        rows, title="\nHeld-out policy-selection quality", float_fmt="{:.2f}",
+    ))
+
+    # 4. the learned decision map (paper Fig. 12)
+    n = 20
+    grid = np.empty((n, n), dtype=object)
+    for i in range(n):
+        for j in range(n):
+            grid[i, j] = cs.predict_one(j * 50 + 25, i * 50 + 25)
+    print()
+    print(ascii_policy_map(
+        grid, title="Learned policy map, 0 <= m, k <= 1000 (m right, k up)"
+    ))
+
+
+if __name__ == "__main__":
+    main()

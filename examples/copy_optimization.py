@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Copy optimization — device-resident update matrices (§VI-C).
+
+The paper found that eliminating redundant transfers makes the all-GPU
+policy "better ... for even moderately sized frontal matrices."  This
+example runs three variants of the same factorization and shows the
+mechanism: update matrices that stay on the device never cross PCIe,
+and the fp32 error they accumulate across generations is still fixed by
+one refinement step.
+
+Run:  python examples/copy_optimization.py
+"""
+
+import numpy as np
+
+from repro import grid_laplacian_3d, symbolic_factorize
+from repro.analysis import format_table
+from repro.gpu import SimulatedNode
+from repro.multifrontal import (
+    factorize_numeric,
+    factorize_resident,
+    flops_placement,
+    iterative_refinement,
+)
+from repro.policies import IdealHybrid, make_policy
+
+
+def main() -> None:
+    a = grid_laplacian_3d(12, 12, 12)
+    sf = symbolic_factorize(a, ordering="nd")
+    print(f"problem: n={a.n_rows}, {sf.n_supernodes} supernodes, "
+          f"{sf.total_flops():.3g} flops\n")
+
+    rows = []
+    b = np.ones(a.n_rows)
+
+    # plain P4: every front round-trips the PCIe bus
+    nf_p4 = factorize_numeric(a, sf, make_policy("P4"), node=SimulatedNode())
+    r = iterative_refinement(a, nf_p4, b)
+    rows.append(["plain P4 (round trips)", nf_p4.makespan * 1e3,
+                 f"{r.initial_residual:.1e}", r.iterations])
+
+    # hybrid for reference
+    node = SimulatedNode()
+    nf_h = factorize_numeric(a, sf, IdealHybrid(node.model), node=node)
+    r = iterative_refinement(a, nf_h, b)
+    rows.append(["ideal hybrid", nf_h.makespan * 1e3,
+                 f"{r.initial_residual:.1e}", r.iterations])
+
+    # device-resident: updates stay on the GPU between generations
+    nf_res, stats = factorize_resident(
+        a, sf, place_on_device=flops_placement(1e5)
+    )
+    r = iterative_refinement(a, nf_res, b)
+    rows.append(["device-resident P4", nf_res.makespan * 1e3,
+                 f"{r.initial_residual:.1e}", r.iterations])
+
+    print(format_table(
+        ["variant", "sim ms", "factor residual", "refine iters"],
+        rows, title="Copy optimization on one factorization",
+        float_fmt="{:.2f}",
+    ))
+    print(
+        f"\nresidency: {stats.n_device_supernodes} supernodes on device, "
+        f"{stats.resident_reuse_bytes / 2**20:.1f} MiB of updates never "
+        f"crossed PCIe\n(PCIe traffic: {stats.h2d_bytes / 2**20:.1f} MiB up, "
+        f"{stats.d2h_bytes / 2**20:.1f} MiB down, {stats.n_spills} spills)"
+    )
+
+
+if __name__ == "__main__":
+    main()

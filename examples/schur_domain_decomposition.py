@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Static condensation / Schur complements — a downstream application.
+
+Direct solvers earn their keep in workflows that *reuse* structure.
+This example condenses a 3-D problem onto its interface: the interior
+is eliminated once with the multifrontal machinery (under the hybrid
+CPU-GPU policies), leaving a small dense Schur complement that can be
+handed to a dense solver, coupled to another subdomain, or refactored
+cheaply while the interior stays fixed.
+
+Run:  python examples/schur_domain_decomposition.py
+"""
+
+import numpy as np
+
+from repro import grid_laplacian_3d, symbolic_factorize
+from repro.analysis import format_table
+from repro.multifrontal import partial_factorize
+from repro.multifrontal.schur import solve_with_schur
+from repro.policies import BaselineHybrid
+
+
+def main() -> None:
+    a = grid_laplacian_3d(10, 10, 10)
+    sf = symbolic_factorize(a, ordering="nd")
+    print(f"problem: n={a.n_rows}, {sf.n_supernodes} supernodes")
+
+    rows = []
+    for frac in (0.5, 0.8, 0.95):
+        pf = partial_factorize(a, sf, BaselineHybrid(), int(frac * sf.n))
+        # verify: solve through the condensed system
+        rng = np.random.default_rng(1)
+        x_true = rng.normal(size=a.n_rows)
+        x = solve_with_schur(pf, sf, a.matvec(x_true))
+        err = np.abs(x - x_true).max() / np.abs(x_true).max()
+        rows.append(
+            [f"{frac:.0%}", pf.n_eliminated, pf.schur_order,
+             pf.makespan * 1e3, f"{err:.1e}"]
+        )
+    print()
+    print(format_table(
+        ["interior target", "eliminated", "interface size",
+         "condense sim ms", "solve error"],
+        rows,
+        title="Condensing the interior onto the interface",
+        float_fmt="{:.2f}",
+    ))
+    print(
+        "\nThe interface system is dense and small — exactly what a dense"
+        "\nsolver (or the paper's GPU) wants; the interior panels are kept"
+        "\nfor the back-substitution."
+    )
+
+
+if __name__ == "__main__":
+    main()

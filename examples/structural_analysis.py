@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Structural-analysis workflow — the workload class the paper targets.
+
+The paper's matrices come from 3-D structural analysis (automotive
+modeling, metal forming): vector-valued problems with 3 degrees of
+freedom per node.  This example builds such a problem, shows why the
+fill-reducing ordering matters (nested dissection vs minimum degree vs
+band ordering), and factors it under each policy to expose the
+small-problem regime of the paper's Figure 11: offloading everything to
+the GPU *loses* here, while the hybrid picks the right device per call.
+
+Run:  python examples/structural_analysis.py
+"""
+
+import numpy as np
+
+from repro import SparseCholeskySolver, elasticity_3d
+from repro.analysis import format_table
+
+
+def main() -> None:
+    # 8^3 nodes x 3 dof: a small "metal forming" model
+    a = elasticity_3d(8, 8, 8, coupling=0.3)
+    print(f"elasticity model: n={a.n_rows} (3 dof/node), nnz={a.nnz}\n")
+
+    # --- orderings -----------------------------------------------------
+    rows = []
+    for ordering in ("natural", "rcm", "amd", "nd"):
+        s = SparseCholeskySolver(a, ordering=ordering, policy="P1").analyze()
+        sym = s.symbolic
+        rows.append(
+            [ordering, sym.nnz_factor, f"{sym.total_flops():.3g}",
+             sym.n_supernodes, int(sym.mk_pairs()[:, 1].max())]
+        )
+    print(format_table(
+        ["ordering", "nnz(L)", "flops", "supernodes", "largest k"],
+        rows, title="Fill-reducing ordering comparison",
+    ))
+
+    # --- policies ------------------------------------------------------
+    rng = np.random.default_rng(1)
+    x_true = rng.normal(size=a.n_rows)
+    b = a.matvec(x_true)
+    rows = []
+    base_time = None
+    for policy in ("P1", "P2", "P3", "P4", "baseline", "ideal"):
+        s = SparseCholeskySolver(a, ordering="nd", policy=policy)
+        s.factorize()
+        t = s.stats.simulated_seconds
+        if base_time is None:
+            base_time = t
+        res = s.solve_refined(b)
+        err = np.abs(res.x - x_true).max() / np.abs(x_true).max()
+        rows.append(
+            [policy, t * 1e3, base_time / t, res.iterations, f"{err:.1e}"]
+        )
+    print()
+    print(format_table(
+        ["policy", "sim ms", "speedup", "refine iters", "fwd error"],
+        rows,
+        title="Policies on a small problem (hybrid wins; pure GPU loses)",
+        float_fmt="{:.2f}",
+    ))
+    print(
+        "\nNote: small fronts make P2-P4 slower than the host here — exactly"
+        "\nthe regime the paper's hybrid scheduling exists for.  The ideal"
+        "\nhybrid never loses; the flop-threshold baseline can mispick on"
+        "\nproblems this small (its thresholds were fit at paper scale)."
+    )
+
+
+if __name__ == "__main__":
+    main()

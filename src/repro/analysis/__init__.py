@@ -1,0 +1,33 @@
+"""Instrumentation analysis and report formatting.
+
+Turns the per-call :class:`~repro.multifrontal.numeric.FURecord` streams
+into the quantities the paper plots: m x k grid fractions (Fig. 2),
+component timings vs operation count (Figs. 5/6), flop-rate series
+(Figs. 4/7/8/10), policy maps and speedup heatmaps (Figs. 12-14) — plus
+the ASCII renderers the benchmark harness prints them with.
+"""
+
+from repro.analysis.binning import GridBinner
+from repro.analysis.instrument import (
+    component_fractions,
+    component_times,
+    rate_series,
+    time_fraction_grid,
+)
+from repro.analysis.heatmap import ascii_heatmap, ascii_policy_map
+from repro.analysis.reports import format_table
+from repro.analysis.tree_stats import TreeProfile, format_profile, profile_tree
+
+__all__ = [
+    "GridBinner",
+    "time_fraction_grid",
+    "component_times",
+    "component_fractions",
+    "rate_series",
+    "ascii_heatmap",
+    "ascii_policy_map",
+    "format_table",
+    "TreeProfile",
+    "profile_tree",
+    "format_profile",
+]

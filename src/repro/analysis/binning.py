@@ -1,0 +1,79 @@
+"""m x k grid binning of per-call quantities (the Figure 2/12/13/14 axes).
+
+The paper bins factor-update calls on an m x k grid (500 x 500 bins up
+to 10000; our scaled problems use proportionally smaller extents) and
+plots per-bin aggregates: fraction of total time, best policy, speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GridBinner"]
+
+
+@dataclass(frozen=True)
+class GridBinner:
+    """Uniform 2-D binner over (m, k).
+
+    Attributes
+    ----------
+    bin_size : int
+        Edge length of one square bin.
+    extent : int
+        Upper bound of both axes; values beyond are clamped into the
+        last bin (the paper's plots saturate the same way).
+    """
+
+    bin_size: int = 500
+    extent: int = 10000
+
+    @property
+    def n_bins(self) -> int:
+        return max(1, self.extent // self.bin_size)
+
+    def bin_index(self, m, k) -> tuple[np.ndarray, np.ndarray]:
+        m = np.asarray(m, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        bm = np.clip(m // self.bin_size, 0, self.n_bins - 1)
+        bk = np.clip(k // self.bin_size, 0, self.n_bins - 1)
+        return bm, bk
+
+    def accumulate(self, m, k, weights) -> np.ndarray:
+        """Sum ``weights`` into their (m, k) bins; returns a
+        (n_bins, n_bins) array indexed [k_bin, m_bin] like the paper's
+        plots (k on the vertical axis)."""
+        bm, bk = self.bin_index(m, k)
+        out = np.zeros((self.n_bins, self.n_bins))
+        np.add.at(out, (bk, bm), np.asarray(weights, dtype=np.float64))
+        return out
+
+    def fraction(self, m, k, weights) -> np.ndarray:
+        """Like :meth:`accumulate`, normalized to sum to 1."""
+        grid = self.accumulate(m, k, weights)
+        total = grid.sum()
+        return grid / total if total > 0 else grid
+
+    def majority_label(self, m, k, labels, *, fill: str = "") -> np.ndarray:
+        """Per-bin majority label (for policy maps); empty bins get
+        ``fill``."""
+        bm, bk = self.bin_index(m, k)
+        labels = np.asarray(labels, dtype=object)
+        out = np.full((self.n_bins, self.n_bins), fill, dtype=object)
+        votes: dict[tuple[int, int], dict[str, int]] = {}
+        for i in range(labels.size):
+            cell = (int(bk[i]), int(bm[i]))
+            votes.setdefault(cell, {})
+            votes[cell][labels[i]] = votes[cell].get(labels[i], 0) + 1
+        for (r, c), v in votes.items():
+            out[r, c] = max(v.items(), key=lambda kv: kv[1])[0]
+        return out
+
+    def mean(self, m, k, values) -> np.ndarray:
+        """Per-bin mean of ``values``; empty bins are NaN."""
+        sums = self.accumulate(m, k, values)
+        counts = self.accumulate(m, k, np.ones(np.asarray(m).shape))
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)

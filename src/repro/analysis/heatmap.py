@@ -1,0 +1,92 @@
+"""ASCII rendering of the paper's heatmaps and policy maps.
+
+The benchmark harness regenerates every figure as text: numeric grids
+(Figs. 2/14) become shaded-character heatmaps, categorical grids
+(Figs. 12/13) become letter maps (1..4 for P1..P4).  Row 0 is the
+smallest k, printed last so the vertical axis increases upward like the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "ascii_policy_map"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    *,
+    title: str = "",
+    xlabel: str = "m",
+    ylabel: str = "k",
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render a (k-bins x m-bins) numeric grid as shaded characters.
+
+    NaNs render as blanks.  The value range is annotated so the text is
+    quantitatively interpretable.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    finite = grid[np.isfinite(grid)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 0.0
+    span = hi - lo
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"  [{ylabel} increases upward; {xlabel} rightward] "
+        f"range: {fmt.format(lo)} .. {fmt.format(hi)}"
+    )
+    for r in range(grid.shape[0] - 1, -1, -1):
+        chars = []
+        for c in range(grid.shape[1]):
+            v = grid[r, c]
+            if not np.isfinite(v):
+                chars.append(" ")
+            elif span <= 0:
+                chars.append(_SHADES[-1] if v > 0 else _SHADES[0])
+            else:
+                idx = int((v - lo) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[idx])
+        lines.append("  |" + "".join(chars) + "|")
+    lines.append("  +" + "-" * grid.shape[1] + "+")
+    return "\n".join(lines)
+
+
+def ascii_policy_map(
+    grid: np.ndarray,
+    *,
+    title: str = "",
+    symbols: dict[str, str] | None = None,
+) -> str:
+    """Render a categorical (k-bins x m-bins) grid of policy names.
+
+    Defaults to the digit of the policy (P1 -> '1'); empty cells are
+    blank.
+    """
+    grid = np.asarray(grid, dtype=object)
+    lines = []
+    if title:
+        lines.append(title)
+    used: set[str] = set()
+    for r in range(grid.shape[0] - 1, -1, -1):
+        chars = []
+        for c in range(grid.shape[1]):
+            name = str(grid[r, c])
+            if not name:
+                chars.append(" ")
+                continue
+            used.add(name)
+            if symbols and name in symbols:
+                chars.append(symbols[name])
+            else:
+                chars.append(name[-1] if name[-1].isdigit() else name[-1])
+        lines.append("  |" + "".join(chars) + "|")
+    lines.append("  +" + "-" * grid.shape[1] + "+")
+    if used:
+        lines.append("  legend: " + ", ".join(sorted(used)))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Aggregations over factor-update call records.
+
+These produce exactly the series the paper's analysis section plots:
+
+* :func:`time_fraction_grid` — Fig. 2: fraction of total F-U time per
+  m x k bin (with or without copy components).
+* :func:`component_times` / :func:`component_fractions` — Figs. 5/6:
+  per-component timings (absolute / normalized) against the call's total
+  operation count.
+* :func:`rate_series` — Figs. 4/7/8/10: effective flop rate vs operation
+  count for any (device, kernel, policy) timing source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.binning import GridBinner
+from repro.multifrontal.numeric import FURecord
+
+__all__ = [
+    "time_fraction_grid",
+    "component_times",
+    "component_fractions",
+    "rate_series",
+    "records_mk",
+]
+
+#: component categories excluded when reporting "without copy" variants
+COPY_CATEGORIES = ("copy", "alloc")
+
+
+def records_mk(records: Sequence[FURecord]) -> tuple[np.ndarray, np.ndarray]:
+    m = np.array([r.m for r in records], dtype=np.int64)
+    k = np.array([r.k for r in records], dtype=np.int64)
+    return m, k
+
+
+def _record_time(r: FURecord, *, include_copy: bool) -> float:
+    if include_copy:
+        return sum(r.components.values())
+    return sum(v for c, v in r.components.items() if c not in COPY_CATEGORIES)
+
+
+def time_fraction_grid(
+    records: Sequence[FURecord],
+    binner: GridBinner,
+    *,
+    include_copy: bool = True,
+) -> np.ndarray:
+    """Fig. 2: fraction of total computation time per m x k bin."""
+    m, k = records_mk(records)
+    w = np.array([_record_time(r, include_copy=include_copy) for r in records])
+    return binner.fraction(m, k, w)
+
+
+def component_times(
+    records: Sequence[FURecord],
+    components: Iterable[str] = ("potrf", "trsm", "syrk", "copy"),
+) -> dict[str, np.ndarray]:
+    """Fig. 5: per-component busy seconds, plus the ops axis.
+
+    Returns ``{"ops": ..., "<component>": ...}`` arrays aligned with the
+    record order.
+    """
+    out: dict[str, np.ndarray] = {
+        "ops": np.array([r.total_flops for r in records])
+    }
+    for comp in components:
+        out[comp] = np.array([r.components.get(comp, 0.0) for r in records])
+    return out
+
+
+def component_fractions(
+    records: Sequence[FURecord],
+    components: Iterable[str] = ("potrf", "trsm", "syrk", "copy"),
+) -> dict[str, np.ndarray]:
+    """Fig. 6: component shares of each call's total time."""
+    raw = component_times(records, components)
+    totals = np.zeros_like(raw["ops"])
+    for comp in components:
+        totals += raw[comp]
+    out = {"ops": raw["ops"]}
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for comp in components:
+            out[comp] = np.where(totals > 0, raw[comp] / totals, 0.0)
+    return out
+
+
+def rate_series(
+    ops: np.ndarray, seconds: np.ndarray, *, n_points: int = 40
+) -> tuple[np.ndarray, np.ndarray]:
+    """Geometric-mean flop-rate curve on a log-spaced ops axis.
+
+    Matches how the paper presents rate-vs-ops scatter: we aggregate into
+    log bins so the monotone trend and transition points are readable in
+    text output.
+    """
+    ops = np.asarray(ops, dtype=np.float64)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    keep = (ops > 0) & (seconds > 0)
+    ops, seconds = ops[keep], seconds[keep]
+    if ops.size == 0:
+        return np.empty(0), np.empty(0)
+    lo, hi = np.log10(ops.min()), np.log10(ops.max())
+    if hi - lo < 1e-9:
+        return np.array([ops.mean()]), np.array([(ops / seconds).mean()])
+    edges = np.logspace(lo, hi, n_points + 1)
+    centers, rates = [], []
+    rate = ops / seconds
+    for i in range(n_points):
+        sel = (ops >= edges[i]) & (ops < edges[i + 1])
+        if not sel.any():
+            continue
+        centers.append(np.sqrt(edges[i] * edges[i + 1]))
+        rates.append(float(np.exp(np.log(rate[sel]).mean())))
+    return np.asarray(centers), np.asarray(rates)

@@ -1,0 +1,62 @@
+"""Cost-sensitive auto-tuning of the policy selector (paper Section VI).
+
+The paper models the best-policy predictor as a multinomial logistic
+classifier over matrix features and — this is the novelty — estimates
+its parameters by **directly minimizing the expected computation time**
+
+    theta* = argmin_theta  sum_i sum_j  p_theta(y(x_i) = C_j | x_i) T_ij
+
+instead of a 0/1 classification loss (Eq. 3).  Misclassification then
+costs exactly what it costs in seconds: predicting P1 for a huge front
+is penalized by the full slowdown, while confusing two near-tied
+policies is nearly free.  Prediction reduces to ``argmax x . theta``
+(Eq. 5) — O(d r) per call.
+
+Modules: ``features`` (the paper's feature map + standardization),
+``classifier`` (the parametric model), ``objective`` (expected-time and
+cross-entropy losses with analytic gradients), ``optimizer`` (backtracking
+gradient descent), ``dataset`` (empirical timing data collection), and
+``trainer`` (the end-to-end fitting entry points).
+"""
+
+from repro.autotune.features import FeatureMap, FeatureScaler
+from repro.autotune.classifier import PolicyClassifier
+from repro.autotune.objective import (
+    cross_entropy_loss,
+    expected_time_loss,
+    softmax,
+)
+from repro.autotune.optimizer import OptimizeResult, minimize_gd
+from repro.autotune.dataset import TimingDataset, collect_timing_dataset, sample_mk_cloud
+from repro.autotune.evaluation import (
+    RegretReport,
+    confusion_matrix,
+    cross_validate,
+    evaluate,
+)
+from repro.autotune.trainer import (
+    train_cost_sensitive,
+    train_cross_entropy,
+    train_default_classifier,
+)
+
+__all__ = [
+    "FeatureMap",
+    "FeatureScaler",
+    "PolicyClassifier",
+    "softmax",
+    "expected_time_loss",
+    "cross_entropy_loss",
+    "minimize_gd",
+    "OptimizeResult",
+    "TimingDataset",
+    "collect_timing_dataset",
+    "sample_mk_cloud",
+    "evaluate",
+    "RegretReport",
+    "confusion_matrix",
+    "cross_validate",
+    "train_cost_sensitive",
+    "train_cross_entropy",
+    "train_default_classifier",
+]

@@ -1,0 +1,124 @@
+"""The parametric best-policy classifier (paper Section VI-B).
+
+A multinomial logistic model over the standardized feature space:
+
+    p_theta(y = C_j | x)  =  exp(x . theta_j) / sum_l exp(x . theta_l)
+
+Prediction never needs probabilities — since the denominator is shared
+and exp is monotone, the best policy is ``argmax_j x . theta_j`` (paper
+Eq. 5), a ``d x r`` matrix-vector product per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.features import FeatureMap, FeatureScaler
+from repro.autotune.objective import softmax
+
+__all__ = ["PolicyClassifier"]
+
+
+@dataclass
+class PolicyClassifier:
+    """Trained policy selector.
+
+    Attributes
+    ----------
+    theta : (d, r) float array
+        Weights in the *standardized* feature space (bias included).
+    class_names : tuple of str
+        Policy names corresponding to the r columns.
+    feature_map / scaler
+        The (m, k) -> x pipeline the weights were trained on.
+    """
+
+    theta: np.ndarray
+    class_names: tuple[str, ...]
+    feature_map: FeatureMap = field(default_factory=FeatureMap)
+    scaler: FeatureScaler = field(default_factory=FeatureScaler)
+
+    def __post_init__(self):
+        if self.theta.ndim != 2:
+            raise ValueError("theta must be 2-D")
+        if self.theta.shape[1] != len(self.class_names):
+            raise ValueError("theta columns must match class names")
+
+    # -- feature pipeline -------------------------------------------------
+    def features(self, m, k) -> np.ndarray:
+        return self.scaler.transform(self.feature_map(m, k))
+
+    # -- prediction --------------------------------------------------------
+    def scores(self, m, k) -> np.ndarray:
+        """Linear scores x . theta (n, r) — the Eq. 5 quantity."""
+        return self.features(m, k) @ self.theta
+
+    def predict(self, m, k) -> np.ndarray:
+        """Vectorized policy prediction; returns an array of names."""
+        idx = np.argmax(self.scores(m, k), axis=1)
+        names = np.asarray(self.class_names, dtype=object)
+        return names[idx]
+
+    def predict_one(self, m: int, k: int) -> str:
+        return str(self.predict([m], [k])[0])
+
+    def predict_proba(self, m, k) -> np.ndarray:
+        return softmax(self.scores(m, k))
+
+    # -- persistence --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (weights, classes, feature pipeline).
+
+        The paper's deployment story is exactly this: auto-tune once per
+        CPU-GPU combination, then ship the tiny linear model (Eq. 5 is an
+        O(d r) dot product at runtime).
+        """
+        return {
+            "format": "repro.policy-classifier.v1",
+            "theta": self.theta.tolist(),
+            "class_names": list(self.class_names),
+            "features": list(self.feature_map.names),
+            "scaler_mean": None if self.scaler.mean is None else self.scaler.mean.tolist(),
+            "scaler_std": None if self.scaler.std is None else self.scaler.std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyClassifier":
+        if data.get("format") != "repro.policy-classifier.v1":
+            raise ValueError(f"unsupported classifier format: {data.get('format')!r}")
+        scaler = FeatureScaler(
+            mean=None if data["scaler_mean"] is None else np.asarray(data["scaler_mean"]),
+            std=None if data["scaler_std"] is None else np.asarray(data["scaler_std"]),
+        )
+        return cls(
+            theta=np.asarray(data["theta"], dtype=np.float64),
+            class_names=tuple(data["class_names"]),
+            feature_map=FeatureMap(names=tuple(data["features"])),
+            scaler=scaler,
+        )
+
+    def save(self, path) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "PolicyClassifier":
+        import json
+
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -- evaluation ---------------------------------------------------------
+    def expected_time(self, m, k, times: np.ndarray) -> float:
+        """Total time of following the classifier's hard decisions over a
+        dataset with per-policy ``times`` (n, r)."""
+        idx = np.argmax(self.scores(m, k), axis=1)
+        return float(times[np.arange(times.shape[0]), idx].sum())
+
+    def decision_counts(self, m, k) -> dict[str, int]:
+        pred = self.predict(m, k)
+        return {name: int((pred == name).sum()) for name in self.class_names}

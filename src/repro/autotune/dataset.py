@@ -1,0 +1,134 @@
+"""Empirical timing data for auto-tuner training.
+
+The paper trains on the observed per-call timings of real
+factorizations ("we estimate the classifier parameters from the
+available empirical computation time data").  We support both sources:
+
+* :func:`collect_timing_dataset` — price every (m, k) in a list (e.g.
+  the F-U calls of the test-suite matrices, via
+  ``SymbolicFactor.mk_pairs``) under all four policies, optionally with
+  several noisy repetitions (jittered performance-model replicas stand
+  in for run-to-run measurement variance);
+* :func:`sample_mk_cloud` — a log-uniform synthetic cloud over the
+  (m, k) ranges the paper plots (0..10000), used by the default
+  classifier when no matrix-specific data is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.gpu.perfmodel import PerfModel
+from repro.policies.base import Policy, estimate_policy_time, make_policy
+
+__all__ = ["TimingDataset", "collect_timing_dataset", "sample_mk_cloud"]
+
+
+@dataclass
+class TimingDataset:
+    """Rows of (m, k) with per-policy observed times.
+
+    ``times[i, j]`` is the observed seconds of policy ``policies[j]`` on
+    call i.  ``m``/``k`` may repeat when multiple noisy observations of
+    the same call are included.
+    """
+
+    m: np.ndarray
+    k: np.ndarray
+    times: np.ndarray
+    policies: tuple[str, ...]
+
+    def __post_init__(self):
+        if not (self.m.shape == self.k.shape == (self.times.shape[0],)):
+            raise ValueError("inconsistent dataset shapes")
+        if self.times.shape[1] != len(self.policies):
+            raise ValueError("times columns must match policy names")
+
+    @property
+    def n(self) -> int:
+        return int(self.m.size)
+
+    def best_labels(self) -> np.ndarray:
+        """Hard argmin labels (what a cost-insensitive trainer fits)."""
+        return np.argmin(self.times, axis=1)
+
+    def oracle_time(self) -> float:
+        """Total time of the per-row optimal choices (the P_IH bound)."""
+        return float(self.times.min(axis=1).sum())
+
+    def policy_time(self, name: str) -> float:
+        """Total time of always using one policy."""
+        j = self.policies.index(name)
+        return float(self.times[:, j].sum())
+
+    def subsample(self, n: int, *, seed: int = 0) -> "TimingDataset":
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.n, size=min(n, self.n), replace=False)
+        return TimingDataset(
+            self.m[idx], self.k[idx], self.times[idx], self.policies
+        )
+
+
+def sample_mk_cloud(
+    n: int = 600,
+    *,
+    m_range: tuple[int, int] = (0, 10000),
+    k_range: tuple[int, int] = (1, 10000),
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Log-uniform (m, k) samples, biased like real elimination trees:
+    mostly small calls with a heavy tail, plus the m = 0 root line."""
+    rng = np.random.default_rng(seed)
+    lo_k = max(1, k_range[0])
+    k = np.exp(rng.uniform(np.log(lo_k), np.log(k_range[1]), size=n)).astype(np.int64)
+    m = np.exp(rng.uniform(0.0, np.log(max(2, m_range[1])), size=n)).astype(np.int64)
+    # ~5% of calls at the root special case m = 0 (Section IV-D)
+    root = rng.random(n) < 0.05
+    m[root] = 0
+    m = np.clip(m, m_range[0], m_range[1])
+    k = np.clip(k, max(1, k_range[0]), k_range[1])
+    return m, k
+
+
+def collect_timing_dataset(
+    m: np.ndarray,
+    k: np.ndarray,
+    model: PerfModel,
+    *,
+    policies: tuple[str, ...] = ("P1", "P2", "P3", "P4"),
+    noise: float = 0.0,
+    repetitions: int = 1,
+    seed: int = 0,
+) -> TimingDataset:
+    """Price each (m, k) under every policy.
+
+    With ``noise > 0`` each repetition uses a jittered replica of the
+    performance model (different jitter salt), emulating the paper's
+    noisy empirical measurements; the classifier must then generalize
+    rather than memorize.
+    """
+    m = np.asarray(m, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    pols: list[Policy] = [make_policy(p) for p in policies]
+    rows_m, rows_k, rows_t = [], [], []
+    for rep in range(max(1, repetitions)):
+        rep_model = (
+            model
+            if noise <= 0
+            else replace(model, jitter=noise, _jitter_salt=seed * 7919 + rep)
+        )
+        t = np.empty((m.size, len(pols)))
+        for j, pol in enumerate(pols):
+            for i in range(m.size):
+                t[i, j] = estimate_policy_time(pol, int(m[i]), int(k[i]), rep_model)
+        rows_m.append(m)
+        rows_k.append(k)
+        rows_t.append(t)
+    return TimingDataset(
+        np.concatenate(rows_m),
+        np.concatenate(rows_k),
+        np.vstack(rows_t),
+        tuple(policies),
+    )

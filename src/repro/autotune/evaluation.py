@@ -1,0 +1,105 @@
+"""Classifier evaluation utilities: regret, confusion, cross-validation.
+
+The paper evaluates its model hybrid by end-to-end speedup; for model
+development you also want the statistical view — how far from the
+oracle the selector is on held-out calls (*regret*, in seconds and
+percent), which policies it confuses (and whether those confusions are
+cheap, the whole point of cost-sensitive training), and how stable the
+fit is across folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.classifier import PolicyClassifier
+from repro.autotune.dataset import TimingDataset
+
+__all__ = ["RegretReport", "evaluate", "confusion_matrix", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class RegretReport:
+    """Held-out quality of a policy selector."""
+
+    total_seconds: float
+    oracle_seconds: float
+    accuracy: float              # hard top-1 agreement with the oracle
+    n: int
+
+    @property
+    def regret_seconds(self) -> float:
+        return self.total_seconds - self.oracle_seconds
+
+    @property
+    def regret_percent(self) -> float:
+        if self.oracle_seconds <= 0:
+            return 0.0
+        return 100.0 * (self.total_seconds / self.oracle_seconds - 1.0)
+
+
+def evaluate(clf: PolicyClassifier, ds: TimingDataset) -> RegretReport:
+    """Regret of the classifier's hard decisions on a timing dataset."""
+    idx = np.argmax(clf.scores(ds.m, ds.k), axis=1)
+    chosen = ds.times[np.arange(ds.n), idx]
+    best = ds.best_labels()
+    return RegretReport(
+        total_seconds=float(chosen.sum()),
+        oracle_seconds=ds.oracle_time(),
+        accuracy=float((idx == best).mean()),
+        n=ds.n,
+    )
+
+
+def confusion_matrix(
+    clf: PolicyClassifier, ds: TimingDataset
+) -> tuple[np.ndarray, np.ndarray]:
+    """(counts, cost) confusion matrices indexed [oracle, predicted].
+
+    ``cost[i, j]`` is the total extra seconds incurred on calls whose
+    oracle policy is i but were sent to j — the quantity Eq. 3 actually
+    penalizes (the paper's point: not all confusions are equal).
+    """
+    r = len(ds.policies)
+    pred = np.argmax(clf.scores(ds.m, ds.k), axis=1)
+    best = ds.best_labels()
+    counts = np.zeros((r, r), dtype=np.int64)
+    cost = np.zeros((r, r))
+    rows = np.arange(ds.n)
+    extra = ds.times[rows, pred] - ds.times[rows, best]
+    np.add.at(counts, (best, pred), 1)
+    np.add.at(cost, (best, pred), extra)
+    return counts, cost
+
+
+def cross_validate(
+    ds: TimingDataset,
+    trainer,
+    *,
+    k_folds: int = 5,
+    seed: int = 0,
+) -> list[RegretReport]:
+    """K-fold cross-validation of a trainer callable
+    (``trainer(TimingDataset) -> PolicyClassifier``)."""
+    if k_folds < 2:
+        raise ValueError("need at least 2 folds")
+    if ds.n < k_folds:
+        raise ValueError("not enough samples for the requested folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(ds.n)
+    folds = np.array_split(order, k_folds)
+    reports = []
+    for i in range(k_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k_folds) if j != i])
+        train = TimingDataset(
+            ds.m[train_idx], ds.k[train_idx], ds.times[train_idx], ds.policies
+        )
+        test = TimingDataset(
+            ds.m[test_idx], ds.k[test_idx], ds.times[test_idx], ds.policies
+        )
+        clf = trainer(train)
+        reports.append(evaluate(clf, test))
+    return reports

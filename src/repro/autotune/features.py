@@ -1,0 +1,95 @@
+"""Feature representation of a factor-update call.
+
+The paper (Section VI-B): "we consider features based on
+[m, k, m/k, m^2, mk, k^2, k^3, mk^2]" — the raw dimensions, the aspect
+ratio, and the terms whose combinations give the per-kernel operation
+and transfer counts, so the linear decision rule can express
+flop-threshold *and* shape-threshold boundaries (the learned model's
+most prominent splits were m < 122, k < 19, m/k < 2.6, m/k < 11).
+
+A bias column is appended, and features are z-score standardized (the
+raw features span ~12 orders of magnitude, which would make the
+optimization hopeless in float64 otherwise).  The scaler is part of the
+persisted classifier so prediction remains the paper's pure linear rule
+in the scaled space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FeatureMap", "FeatureScaler", "PAPER_FEATURES"]
+
+PAPER_FEATURES = ("m", "k", "m/k", "m^2", "mk", "k^2", "k^3", "mk^2")
+
+
+@dataclass(frozen=True)
+class FeatureMap:
+    """Maps (m, k) to the paper's feature vector (plus bias).
+
+    ``names`` selects a subset — the feature-set ablation bench trains
+    with ``("ops",)`` (total flops only) to show why a single-threshold
+    rule underfits.
+    """
+
+    names: tuple[str, ...] = PAPER_FEATURES
+
+    @property
+    def dim(self) -> int:
+        return len(self.names) + 1  # + bias
+
+    def __call__(self, m, k) -> np.ndarray:
+        """Feature matrix for arrays (or scalars) of m, k."""
+        m = np.atleast_1d(np.asarray(m, dtype=np.float64))
+        k = np.atleast_1d(np.asarray(k, dtype=np.float64))
+        if m.shape != k.shape:
+            raise ValueError("m and k must have matching shapes")
+        cols = {
+            "m": lambda: m,
+            "k": lambda: k,
+            "m/k": lambda: m / np.maximum(k, 1.0),
+            "m^2": lambda: m * m,
+            "mk": lambda: m * k,
+            "k^2": lambda: k * k,
+            "k^3": lambda: k**3,
+            "mk^2": lambda: m * k * k,
+            "m^2k": lambda: m * m * k,
+            "ops": lambda: k**3 / 3.0 + m * k * k + m * m * k,
+            "log_ops": lambda: np.log1p(k**3 / 3.0 + m * k * k + m * m * k),
+        }
+        feats = []
+        for name in self.names:
+            if name not in cols:
+                raise ValueError(f"unknown feature {name!r}")
+            feats.append(cols[name]())
+        feats.append(np.ones_like(m))  # bias
+        return np.stack(feats, axis=1)
+
+
+@dataclass
+class FeatureScaler:
+    """Z-score standardization fitted on the training features.
+
+    The bias column (all ones, std 0) is passed through untouched.
+    """
+
+    mean: np.ndarray | None = None
+    std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "FeatureScaler":
+        self.mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        keep = std > 0
+        self.mean = np.where(keep, self.mean, 0.0)
+        self.std = np.where(keep, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("scaler not fitted")
+        return (x - self.mean) / self.std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

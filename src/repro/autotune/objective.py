@@ -1,0 +1,90 @@
+"""Training objectives with analytic gradients.
+
+``expected_time_loss`` is the paper's Eq. 3: the expected computation
+time of a stochastic policy ``p_theta`` over the empirical timing table
+``T`` (n samples x r policies, seconds).  With ``z = X @ theta`` and
+``P = softmax(z)`` row-wise,
+
+    L(theta)      = sum_i sum_j P_ij T_ij
+    dL/dz_il      = P_il (T_il - sum_j P_ij T_ij)
+    dL/dtheta     = X^T (P * (T - L_i[:, None]))
+
+``cross_entropy_loss`` is the conventional cost-*insensitive* objective
+(fit to the argmin labels, all errors equal) used by prior auto-tuning
+work the paper contrasts against [19], [20]; the ablation bench compares
+the two head-to-head.
+
+Both accept an optional L2 ridge (excluding nothing — the feature space
+is standardized, so a uniform ridge is fine) for conditioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "expected_time_loss", "cross_entropy_loss"]
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically safe."""
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def expected_time_loss(
+    theta: np.ndarray,
+    x: np.ndarray,
+    t: np.ndarray,
+    *,
+    ridge: float = 0.0,
+) -> tuple[float, np.ndarray]:
+    """Paper Eq. 3 — value and gradient of the expected computation time.
+
+    Parameters
+    ----------
+    theta : (d, r) array
+    x : (n, d) standardized feature matrix
+    t : (n, r) per-policy times in seconds
+    ridge : float
+        L2 coefficient on theta.
+
+    Returns
+    -------
+    (loss, grad) with ``grad.shape == theta.shape``.
+    """
+    z = x @ theta
+    p = softmax(z)
+    per_sample = (p * t).sum(axis=1)           # E[time | x_i]
+    loss = float(per_sample.sum())
+    gz = p * (t - per_sample[:, None])
+    grad = x.T @ gz
+    if ridge > 0:
+        loss += 0.5 * ridge * float((theta * theta).sum())
+        grad = grad + ridge * theta
+    return loss, grad
+
+
+def cross_entropy_loss(
+    theta: np.ndarray,
+    x: np.ndarray,
+    labels: np.ndarray,
+    *,
+    ridge: float = 0.0,
+) -> tuple[float, np.ndarray]:
+    """Standard multinomial cross-entropy on hard best-policy labels.
+
+    ``labels`` are integer class indices (argmin of the timing rows).
+    """
+    n = x.shape[0]
+    z = x @ theta
+    p = softmax(z)
+    eps = 1e-12
+    loss = -float(np.log(p[np.arange(n), labels] + eps).sum())
+    y = np.zeros_like(p)
+    y[np.arange(n), labels] = 1.0
+    grad = x.T @ (p - y)
+    if ridge > 0:
+        loss += 0.5 * ridge * float((theta * theta).sum())
+        grad = grad + ridge * theta
+    return loss, grad

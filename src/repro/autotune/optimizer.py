@@ -1,0 +1,81 @@
+"""Unconstrained first-order optimization for the classifier fits.
+
+The problems here are tiny (theta is ~9 features x 4 policies), so a
+robust gradient descent with Armijo backtracking and a light momentum
+term converges in a few hundred cheap iterations; the paper mentions
+Newton-Raphson, which works equally well at this size but needs the
+(dr x dr) Hessian of the expected-time objective — not worth the code
+for a 36-parameter problem.  The interface takes any ``f(theta) ->
+(loss, grad)`` pair, so both objectives (and ablation variants) share
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["OptimizeResult", "minimize_gd"]
+
+
+@dataclass
+class OptimizeResult:
+    """Optimization outcome and trace."""
+
+    theta: np.ndarray
+    loss: float
+    n_iter: int
+    converged: bool
+    history: list[float]
+
+
+def minimize_gd(
+    fun: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    *,
+    max_iter: int = 500,
+    tol: float = 1e-9,
+    lr0: float = 1.0,
+    momentum: float = 0.5,
+    armijo: float = 1e-4,
+) -> OptimizeResult:
+    """Gradient descent with backtracking line search and momentum.
+
+    Stops when the relative loss improvement over an iteration falls
+    below ``tol`` or the step size collapses.
+    """
+    theta = theta0.astype(np.float64, copy=True)
+    loss, grad = fun(theta)
+    history = [loss]
+    velocity = np.zeros_like(theta)
+    lr = lr0
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        direction = -(grad + momentum * velocity)
+        # backtracking: shrink until Armijo sufficient decrease holds
+        step = lr
+        gnorm2 = float((grad * direction).sum())
+        accepted = False
+        for _ in range(40):
+            cand = theta + step * direction
+            closs, cgrad = fun(cand)
+            if closs <= loss + armijo * step * gnorm2:
+                accepted = True
+                break
+            step *= 0.5
+        if not accepted:
+            converged = True
+            break
+        velocity = -direction  # store the (negated) last direction
+        rel_impr = (loss - closs) / (abs(loss) + 1e-300)
+        theta, loss, grad = cand, closs, cgrad
+        history.append(loss)
+        lr = min(lr0, step * 2.0)  # adaptive warm restart of the step
+        if rel_impr < tol:
+            converged = True
+            break
+    return OptimizeResult(theta=theta, loss=loss, n_iter=it,
+                          converged=converged, history=history)

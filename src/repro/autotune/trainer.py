@@ -1,0 +1,172 @@
+"""End-to-end classifier training (paper Eq. 3 instantiated).
+
+``train_cost_sensitive`` fits the expected-time objective;
+``train_cross_entropy`` fits the conventional 0/1-loss comparator.  Both
+share the feature pipeline and optimizer.  ``train_default_classifier``
+is the convenience used by ``SparseCholeskySolver(policy="model")``: it
+samples a synthetic (m, k) cloud, prices it under the node's performance
+model with mild measurement noise, and trains — i.e. the full
+auto-tuning loop the paper proposes for new CPU-GPU combinations,
+memoized per performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.classifier import PolicyClassifier
+from repro.autotune.dataset import TimingDataset, collect_timing_dataset, sample_mk_cloud
+from repro.autotune.features import FeatureMap, FeatureScaler
+from repro.autotune.objective import cross_entropy_loss, expected_time_loss
+from repro.autotune.optimizer import minimize_gd
+from repro.gpu.perfmodel import PerfModel
+
+__all__ = [
+    "train_cost_sensitive",
+    "train_cross_entropy",
+    "train_default_classifier",
+]
+
+
+def _fit(
+    dataset: TimingDataset,
+    feature_map: FeatureMap,
+    loss_kind: str,
+    *,
+    ridge: float,
+    max_iter: int,
+    time_scale: bool,
+    theta0: np.ndarray | None = None,
+    scaler: FeatureScaler | None = None,
+) -> PolicyClassifier:
+    x_raw = feature_map(dataset.m, dataset.k)
+    if scaler is None:
+        scaler = FeatureScaler().fit(x_raw)
+    x = scaler.transform(x_raw)
+    r = len(dataset.policies)
+    if theta0 is None:
+        theta0 = np.zeros((x.shape[1], r))
+
+    if loss_kind == "expected_time":
+        t = dataset.times
+        # scale to O(1) so the line search starts at a sane step; the
+        # argmin structure (and hence the trained decision rule) is
+        # invariant to a positive rescaling
+        scale = t.sum() if time_scale else 1.0
+        tt = t / scale
+
+        def fun(theta):
+            return expected_time_loss(theta, x, tt, ridge=ridge)
+
+    elif loss_kind == "cross_entropy":
+        labels = dataset.best_labels()
+        n = max(1, dataset.n)
+
+        def fun(theta):
+            loss, grad = cross_entropy_loss(theta, x, labels, ridge=ridge)
+            return loss / n, grad / n
+
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError(f"unknown loss {loss_kind!r}")
+
+    res = minimize_gd(fun, theta0, max_iter=max_iter)
+    return PolicyClassifier(
+        theta=res.theta,
+        class_names=dataset.policies,
+        feature_map=feature_map,
+        scaler=scaler,
+    )
+
+
+def train_cost_sensitive(
+    dataset: TimingDataset,
+    *,
+    feature_map: FeatureMap | None = None,
+    ridge: float = 1e-6,
+    max_iter: int = 800,
+    warm_start: bool = True,
+) -> PolicyClassifier:
+    """Fit the paper's expected-computation-time objective (Eq. 3).
+
+    The expected-time surface is non-convex in theta; by default we
+    warm-start from the cross-entropy solution (a convex fit to the hard
+    argmin labels) and then descend the expected-time objective, which
+    keeps every 0/1-correct decision that matters and re-weights the
+    boundary cases by their actual cost in seconds.
+    """
+    fm = feature_map or FeatureMap()
+    theta0 = None
+    scaler = None
+    if warm_start:
+        ce = _fit(
+            dataset, fm, "cross_entropy",
+            ridge=ridge, max_iter=max_iter, time_scale=False,
+        )
+        theta0, scaler = ce.theta, ce.scaler
+    return _fit(
+        dataset,
+        fm,
+        "expected_time",
+        ridge=ridge,
+        max_iter=max_iter,
+        time_scale=True,
+        theta0=theta0,
+        scaler=scaler,
+    )
+
+
+def train_cross_entropy(
+    dataset: TimingDataset,
+    *,
+    feature_map: FeatureMap | None = None,
+    ridge: float = 1e-6,
+    max_iter: int = 800,
+) -> PolicyClassifier:
+    """Fit the conventional cost-insensitive 0/1-loss classifier (the
+    approach of [19]/[20] the paper improves upon)."""
+    return _fit(
+        dataset,
+        feature_map or FeatureMap(),
+        "cross_entropy",
+        ridge=ridge,
+        max_iter=max_iter,
+        time_scale=False,
+    )
+
+
+_DEFAULT_CACHE: dict[tuple, PolicyClassifier] = {}
+
+
+def train_default_classifier(
+    model: PerfModel,
+    *,
+    n_samples: int = 500,
+    noise: float = 0.05,
+    repetitions: int = 2,
+    seed: int = 0,
+) -> PolicyClassifier:
+    """The turnkey auto-tuning loop: sample (m, k), measure under the
+    given performance model (with noise), train cost-sensitively.
+
+    Memoized on the model's calibration + sampling configuration, since
+    pricing ~500 calls x 4 policies is the dominant cost.
+    """
+    key = (
+        model.precision,
+        tuple(sorted((k, p.launch_latency, p.peak) for k, p in model.cpu.items())),
+        tuple(sorted((k, p.launch_latency, p.peak) for k, p in model.gpu.items())),
+        n_samples,
+        noise,
+        repetitions,
+        seed,
+    )
+    hit = _DEFAULT_CACHE.get(key)
+    if hit is not None:
+        return hit
+    m, k = sample_mk_cloud(n_samples, seed=seed)
+    ds = collect_timing_dataset(
+        m, k, model, noise=noise, repetitions=repetitions, seed=seed
+    )
+    clf = train_cost_sensitive(ds)
+    _DEFAULT_CACHE[key] = clf
+    return clf

@@ -1,0 +1,268 @@
+"""Command-line front end.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro spec                       # Table I hardware record
+    python -m repro generate lap3d 12 12 12 --out a.mtx
+    python -m repro analyze a.mtx --ordering nd
+    python -m repro solve a.mtx --policy model
+    python -m repro policies --m 2000 --k 800  # per-policy call costs
+    python -m repro train --samples 400 --out clf.json
+
+Every subcommand prints plain text and returns a process exit code, so
+the tool scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(path: str):
+    from repro.matrices import read_matrix_market
+
+    return read_matrix_market(path)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_spec(args) -> int:
+    from repro.analysis import format_table
+    from repro.gpu import TESLA_T10, XEON_5160_CORE
+
+    print(format_table(
+        ["field", "value"], TESLA_T10.table_rows(),
+        title="Simulated GPU (paper Table I)",
+    ))
+    print(
+        f"\nhost core: {XEON_5160_CORE.name}, "
+        f"{XEON_5160_CORE.peak_dp_gflops:g} GF/s dp peak"
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.matrices import (
+        elasticity_3d,
+        grid_laplacian_2d,
+        grid_laplacian_3d,
+        random_spd,
+        write_matrix_market,
+    )
+
+    dims = args.dims
+    if args.kind == "lap2d":
+        if len(dims) != 2:
+            raise SystemExit("lap2d needs 2 dimensions")
+        a = grid_laplacian_2d(*dims)
+    elif args.kind == "lap3d":
+        if len(dims) != 3:
+            raise SystemExit("lap3d needs 3 dimensions")
+        a = grid_laplacian_3d(*dims)
+    elif args.kind == "elasticity":
+        if len(dims) != 3:
+            raise SystemExit("elasticity needs 3 dimensions")
+        a = elasticity_3d(*dims)
+    elif args.kind == "random":
+        if len(dims) != 1:
+            raise SystemExit("random needs 1 dimension (n)")
+        a = random_spd(dims[0], seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown kind {args.kind}")
+    write_matrix_market(args.out, a, symmetric=True)
+    print(f"wrote {args.out}: n={a.n_rows}, nnz={a.nnz}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import format_table
+    from repro.symbolic import symbolic_factorize
+
+    a = _load_matrix(args.matrix)
+    sf = symbolic_factorize(a, ordering=args.ordering)
+    mk = sf.mk_pairs()
+    rows = [
+        ["n", a.n_rows],
+        ["nnz(A)", a.nnz],
+        ["ordering", args.ordering],
+        ["nnz(L)", sf.nnz_factor],
+        ["fill ratio", f"{sf.nnz_factor / max(1, a.lower_triangle().nnz):.2f}"],
+        ["supernodes", sf.n_supernodes],
+        ["largest front k", int(mk[:, 1].max())],
+        ["largest update m", int(mk[:, 0].max())],
+        ["factor flops", f"{sf.total_flops():.4g}"],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"analysis of {args.matrix}"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis import format_profile, profile_tree
+
+    if args.workload:
+        from repro.workload import paper_workload
+
+        sf = paper_workload(args.matrix)
+        title = f"paper-scale workload {args.matrix}"
+    else:
+        from repro.symbolic import symbolic_factorize
+
+        sf = symbolic_factorize(_load_matrix(args.matrix), ordering=args.ordering)
+        title = args.matrix
+    print(f"tree profile of {title}:")
+    print(format_profile(profile_tree(sf)))
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from repro.multifrontal import SparseCholeskySolver
+
+    a = _load_matrix(args.matrix)
+    solver = SparseCholeskySolver(a, ordering=args.ordering, policy=args.policy)
+    solver.analyze().factorize()
+    if args.rhs == "ones":
+        b = np.ones(a.n_rows)
+    else:
+        b = np.loadtxt(args.rhs)
+    res = solver.solve_refined(b, tol=args.tol)
+    stats = solver.stats
+    print(f"n={stats.n} nnz(L)={stats.nnz_factor} supernodes={stats.n_supernodes}")
+    print(
+        f"simulated time: {stats.simulated_seconds:.4f}s "
+        f"({stats.effective_gflops:.2f} GF/s effective)"
+    )
+    print(f"policy usage: {stats.policy_counts}")
+    print(
+        f"solve: {res.iterations} refinement step(s), "
+        f"final residual {res.final_residual:.3e}"
+    )
+    if args.out:
+        np.savetxt(args.out, res.x)
+        print(f"solution written to {args.out}")
+    return 0 if res.converged else 2
+
+
+def cmd_policies(args) -> int:
+    from repro.analysis import format_table
+    from repro.gpu import tesla_t10_model
+    from repro.policies import estimate_policy_time, make_policy
+
+    model = tesla_t10_model()
+    rows = []
+    best_name, best_t = None, float("inf")
+    for name in ("P1", "P2", "P3", "P4", "P4c", "basic"):
+        t = estimate_policy_time(make_policy(name), args.m, args.k, model)
+        rows.append([name, t * 1e3, (args.m * args.k**2 + args.m**2 * args.k + args.k**3 / 3) / t / 1e9])
+        if t < best_t and name in ("P1", "P2", "P3", "P4"):
+            best_name, best_t = name, t
+    print(format_table(
+        ["policy", "time (ms)", "GF/s"],
+        rows,
+        title=f"factor-update of m={args.m}, k={args.k}",
+        float_fmt="{:.3f}",
+    ))
+    print(f"best base policy: {best_name}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.autotune import (
+        collect_timing_dataset,
+        sample_mk_cloud,
+        train_cost_sensitive,
+    )
+    from repro.gpu import tesla_t10_model
+
+    model = tesla_t10_model()
+    m, k = sample_mk_cloud(args.samples, seed=args.seed)
+    ds = collect_timing_dataset(
+        m, k, model, noise=args.noise, repetitions=2, seed=args.seed
+    )
+    clf = train_cost_sensitive(ds)
+    regret = clf.expected_time(ds.m, ds.k, ds.times) / ds.oracle_time() - 1
+    print(
+        f"trained on {ds.n} observations; training regret vs oracle: "
+        f"{100 * regret:.2f}%"
+    )
+    if args.out:
+        clf.save(args.out)
+        print(f"classifier saved to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid CPU-GPU multifrontal Cholesky (IPDPS'11 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("spec", help="print the simulated hardware (Table I)")
+
+    g = sub.add_parser("generate", help="generate an SPD test matrix")
+    g.add_argument("kind", choices=("lap2d", "lap3d", "elasticity", "random"))
+    g.add_argument("dims", type=int, nargs="+")
+    g.add_argument("--out", required=True)
+    g.add_argument("--seed", type=int, default=0)
+
+    a = sub.add_parser("analyze", help="symbolic analysis of a MatrixMarket file")
+    a.add_argument("matrix")
+    a.add_argument("--ordering", default="nd",
+                   choices=("natural", "amd", "rcm", "nd"))
+
+    s = sub.add_parser("solve", help="factor and solve A x = b")
+    s.add_argument("matrix")
+    s.add_argument("--policy", default="baseline")
+    s.add_argument("--ordering", default="nd",
+                   choices=("natural", "amd", "rcm", "nd"))
+    s.add_argument("--rhs", default="ones",
+                   help="'ones' or a path to a text vector")
+    s.add_argument("--tol", type=float, default=1e-12)
+    s.add_argument("--out", default="")
+
+    pr = sub.add_parser("profile", help="elimination-tree profile")
+    pr.add_argument("matrix",
+                    help="MatrixMarket path, or a paper workload name "
+                         "with --workload")
+    pr.add_argument("--ordering", default="nd",
+                    choices=("natural", "amd", "rcm", "nd"))
+    pr.add_argument("--workload", action="store_true",
+                    help="treat MATRIX as a repro.workload name")
+
+    c = sub.add_parser("policies", help="per-policy cost of one F-U call")
+    c.add_argument("--m", type=int, required=True)
+    c.add_argument("--k", type=int, required=True)
+
+    t = sub.add_parser("train", help="auto-tune a policy classifier")
+    t.add_argument("--samples", type=int, default=400)
+    t.add_argument("--noise", type=float, default=0.05)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", default="")
+    return p
+
+
+_COMMANDS = {
+    "spec": cmd_spec,
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "profile": cmd_profile,
+    "solve": cmd_solve,
+    "policies": cmd_policies,
+    "train": cmd_train,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Cluster extension — the paper's stated future work.
+
+The conclusions announce: "We are currently investigating the
+feasibility of using the distributed-memory parallel version of WSMP to
+develop a cluster version of the solver."  This subpackage builds that
+system on top of the same simulation substrate:
+
+* ranks — one MPI-style rank per cluster node, each a host CPU core
+  with (optionally) one GPU, matching the paper's one-thread-per-GPU
+  design point;
+* a **subtree-to-rank mapping** (:mod:`mapping`) in the spirit of the
+  classical subtree-to-subcube assignment: the supernodal tree is split
+  by subtree flops so every rank owns a balanced set of subtrees, and
+  the top separators run on the rank that owns the heaviest branch;
+* an **interconnect model** (:mod:`simulate`): when a child supernode
+  and its parent live on different ranks, the child's update matrix
+  crosses the network (latency + bytes/bandwidth on the sender's NIC
+  engine), serialized with every other message of that rank;
+* the same per-call placement policies (P1..P4, hybrids) inside each
+  rank.
+
+``simulate_cluster`` prices a whole factorization on a
+:class:`ClusterSpec` and reports makespan, per-rank utilization, and
+communication volume — the quantities a cluster-scaling study needs.
+"""
+
+from repro.cluster.mapping import map_subtrees_to_ranks, subtree_flops
+from repro.cluster.simulate import (
+    ClusterResult,
+    ClusterSpec,
+    InterconnectParams,
+    simulate_cluster,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "InterconnectParams",
+    "ClusterResult",
+    "simulate_cluster",
+    "map_subtrees_to_ranks",
+    "subtree_flops",
+]

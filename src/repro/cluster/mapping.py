@@ -1,0 +1,98 @@
+"""Subtree-to-rank mapping for the distributed factorization.
+
+Classical subtree-to-subcube assignment, generalized to arbitrary rank
+counts: starting from the root(s) with the full rank set, each
+separator stays on the first rank of its set, and its children's
+subtrees are partitioned between the two halves of the rank set by a
+greedy balance on subtree flops.  Once the rank set reaches size one,
+the whole remaining subtree is local — no further communication below
+that point, which is what makes the multifrontal method a good
+distributed algorithm (only update matrices on the subtree boundary
+cross the network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symbolic.etree import NO_PARENT
+from repro.symbolic.symbolic import SymbolicFactor, factor_update_flops
+
+__all__ = ["subtree_flops", "map_subtrees_to_ranks"]
+
+
+def subtree_flops(sf: SymbolicFactor) -> np.ndarray:
+    """Factor-update flops of each supernode's whole subtree."""
+    n_super = sf.n_supernodes
+    own = np.empty(n_super)
+    for s in range(n_super):
+        own[s] = sum(factor_update_flops(sf.update_size(s), sf.width(s)))
+    total = own.copy()
+    for s in sf.spost:                      # children precede parents
+        p = sf.sparent[int(s)]
+        if p != NO_PARENT:
+            total[p] += total[int(s)]
+    return total
+
+
+def _greedy_split(items: list[int], weights: np.ndarray) -> tuple[list[int], list[int]]:
+    """Partition items into two lists with balanced total weight
+    (largest-first greedy)."""
+    order = sorted(items, key=lambda s: -weights[s])
+    a: list[int] = []
+    b: list[int] = []
+    wa = wb = 0.0
+    for s in order:
+        if wa <= wb:
+            a.append(s)
+            wa += weights[s]
+        else:
+            b.append(s)
+            wb += weights[s]
+    return a, b
+
+
+def map_subtrees_to_ranks(sf: SymbolicFactor, n_ranks: int) -> np.ndarray:
+    """Assign every supernode to a rank; returns ``owner`` (int64 array).
+
+    Ranks are recursively halved down the tree; the separator at each
+    split runs on the first rank of its set.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    weights = subtree_flops(sf)
+    kids = sf.schildren()
+    owner = np.zeros(sf.n_supernodes, dtype=np.int64)
+
+    def assign(nodes: list[int], ranks: range) -> None:
+        """Assign the forest rooted at ``nodes`` to ``ranks``."""
+        if len(ranks) == 1 or not nodes:
+            for s in nodes:
+                _assign_subtree(s, ranks[0])
+            return
+        half = len(ranks) // 2
+        left_ranks = ranks[:half]
+        right_ranks = ranks[half:]
+        if len(nodes) == 1:
+            s = nodes[0]
+            # the separator itself runs on the first rank of the set;
+            # its children's subtrees are split between the halves
+            owner[s] = ranks[0]
+            a, b = _greedy_split(kids[s], weights)
+            assign(a, left_ranks)
+            assign(b, right_ranks)
+            return
+        a, b = _greedy_split(nodes, weights)
+        assign(a, left_ranks)
+        assign(b, right_ranks)
+
+    def _assign_subtree(root: int, rank: int) -> None:
+        stack = [root]
+        while stack:
+            s = stack.pop()
+            owner[s] = rank
+            stack.extend(kids[s])
+
+    roots = [s for s in range(sf.n_supernodes) if sf.sparent[s] == NO_PARENT]
+    assign(roots, range(n_ranks))
+    return owner

@@ -1,0 +1,191 @@
+"""Distributed factorization simulation.
+
+Builds one task graph for the whole cluster run and schedules it on the
+shared discrete-event engine set:
+
+* per supernode — an assembly task on the owner rank's CPU engine,
+  followed by the owner's policy plan (the same ``Policy.plan`` used
+  everywhere else, so each rank's GPU offloading behaves exactly like
+  the single-node runs);
+* per cross-rank tree edge — a message task on the *sender's* NIC
+  engine carrying the child's update matrix (``m^2`` float64 words),
+  priced as ``latency + bytes/bandwidth``; the parent's assembly
+  depends on it.
+
+Ranks follow the paper's design point of one host thread per GPU, so a
+rank is one CPU engine plus at most one GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.clock import EngineTimeline, TaskGraph, schedule_graph
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.perfmodel import PerfModel, tesla_t10_model
+from repro.multifrontal.frontal import assembly_bytes
+from repro.cluster.mapping import map_subtrees_to_ranks
+from repro.policies.base import Policy, PolicyP1, Worker
+from repro.gpu.allocator import DeviceMemoryError
+from repro.symbolic.etree import NO_PARENT
+from repro.symbolic.symbolic import SymbolicFactor
+
+__all__ = ["InterconnectParams", "ClusterSpec", "ClusterResult", "simulate_cluster"]
+
+
+@dataclass(frozen=True)
+class InterconnectParams:
+    """Network model (defaults ~ DDR InfiniBand of the paper's era)."""
+
+    latency: float = 5e-6          # per-message seconds
+    bandwidth: float = 1.5e9       # bytes/s per NIC
+
+    def time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster of ranks."""
+
+    n_ranks: int = 2
+    gpus_per_rank: int = 1         # 0 or 1 (one host thread per GPU)
+    model: PerfModel = field(default_factory=tesla_t10_model)
+    interconnect: InterconnectParams = field(default_factory=InterconnectParams)
+
+    def __post_init__(self):
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.gpus_per_rank not in (0, 1):
+            raise ValueError("a rank drives at most one GPU (paper design point)")
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a simulated distributed factorization."""
+
+    makespan: float
+    owner: np.ndarray
+    comm_bytes: float
+    comm_messages: int
+    comm_seconds: float
+    rank_busy: list[float]
+
+    def speedup_vs(self, serial_seconds: float) -> float:
+        return serial_seconds / self.makespan if self.makespan > 0 else float("inf")
+
+    def utilization(self) -> float:
+        if self.makespan <= 0 or not self.rank_busy:
+            return 0.0
+        return float(np.mean(self.rank_busy) / self.makespan)
+
+
+def simulate_cluster(
+    sf: SymbolicFactor,
+    policy: Policy,
+    spec: ClusterSpec,
+    *,
+    owner: np.ndarray | None = None,
+) -> ClusterResult:
+    """Price a distributed multifrontal factorization.
+
+    Parameters
+    ----------
+    sf : SymbolicFactor
+        Real or synthetic (``repro.workload``) structure.
+    policy : Policy
+        Per-call placement policy applied inside each rank.
+    spec : ClusterSpec
+        Cluster shape and network.
+    owner : array, optional
+        Externally supplied supernode-to-rank assignment; defaults to
+        :func:`map_subtrees_to_ranks`.
+    """
+    if owner is None:
+        owner = map_subtrees_to_ranks(sf, spec.n_ranks)
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.shape != (sf.n_supernodes,):
+        raise ValueError("owner must assign every supernode")
+    if owner.size and (owner.min() < 0 or owner.max() >= spec.n_ranks):
+        raise ValueError("owner contains invalid rank ids")
+
+    # rank resources: cpu engine, optional GPU (globally unique ids), NIC
+    workers: list[Worker] = []
+    for r in range(spec.n_ranks):
+        gpu = (
+            SimulatedGpu(spec.model, gpu_id=r) if spec.gpus_per_rank else None
+        )
+        workers.append(Worker(cpu_engine=f"rank{r}.cpu", gpu=gpu))
+
+    engines: dict[str, EngineTimeline] = {}
+    kids = sf.schildren()
+    final_task: dict[int, object] = {}
+    arrival_task: dict[int, object] = {}   # message delivering s's update
+    comm_bytes = 0.0
+    comm_messages = 0
+    comm_seconds = 0.0
+
+    for s in sf.spost:
+        s = int(s)
+        r = int(owner[s])
+        worker = workers[r]
+        rows = sf.rows[s]
+        k = sf.width(s)
+        m = rows.size - k
+
+        deps = []
+        for c in kids[s]:
+            deps.append(arrival_task.get(c, final_task[c]))
+
+        g = TaskGraph()
+        t_asm_secs = spec.model.host_memory_time(
+            assembly_bytes(rows.size, [sf.rows[c].size - sf.width(c) for c in kids[s]])
+        )
+        asm = g.add(f"assemble:{s}", worker.cpu_engine, t_asm_secs, tuple(deps), "assemble")
+        base = policy.resolve(m, k, worker) if hasattr(policy, "resolve") else policy
+        try:
+            plan = base.plan(m, k, worker, spec.model, g, deps=(asm,))
+        except DeviceMemoryError:
+            g = TaskGraph()
+            asm = g.add(
+                f"assemble:{s}", worker.cpu_engine, t_asm_secs, tuple(deps), "assemble"
+            )
+            plan = PolicyP1().plan(m, k, worker, spec.model, g, deps=(asm,))
+        final = plan.final
+
+        # ship the update matrix if the parent lives elsewhere
+        p = int(sf.sparent[s])
+        if p != NO_PARENT and owner[p] != r and m > 0:
+            nbytes = float(m) * m * 8.0     # fp64 update matrix
+            t_msg = spec.interconnect.time(nbytes)
+            msg = g.add(
+                f"send:{s}->{owner[p]}", f"rank{r}.nic", t_msg, (final,), "comm"
+            )
+            arrival_task[s] = msg
+            comm_bytes += nbytes
+            comm_messages += 1
+            comm_seconds += t_msg
+        schedule_graph(g, engines=engines)
+        final_task[s] = final
+
+    makespan = max((t.free_at for t in engines.values()), default=0.0)
+    rank_busy = []
+    for rr in range(spec.n_ranks):
+        # a rank's engines: its host CPU, its NIC, and (gpu ids are the
+        # rank ids by construction) its GPU queues
+        busy = sum(
+            t.busy
+            for name, t in engines.items()
+            if name.startswith(f"rank{rr}.") or name.startswith(f"gpu{rr}.")
+        )
+        rank_busy.append(busy)
+    return ClusterResult(
+        makespan=makespan,
+        owner=owner,
+        comm_bytes=comm_bytes,
+        comm_messages=comm_messages,
+        comm_seconds=comm_seconds,
+        rank_busy=rank_busy,
+    )

@@ -1,0 +1,102 @@
+"""High-water-mark memory pools (paper Section V-A2).
+
+Pinned host memory makes transfers overlappable and faster, but
+``cudaMallocHost`` is "prohibitively expensive when the data to be copied
+is not large enough" — and supernodes are mostly small — so the paper
+triggers allocation "only when the maximum allocated size over all the
+previous calls is insufficient", for both pinned host buffers and device
+memory.  :class:`HighWaterMarkPool` models exactly that: it owns one
+logical buffer that only ever grows, charges allocation time on growth,
+and satisfies any request within the current capacity for free.
+
+The ablation bench ``test_ablation_pinned_pool`` swaps this for a
+per-call allocator to show the degradation the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AllocationStats", "HighWaterMarkPool", "PerCallPool", "DeviceMemoryError"]
+
+
+class DeviceMemoryError(MemoryError):
+    """Requested more device memory than the simulated GPU has."""
+
+
+@dataclass
+class AllocationStats:
+    """Counters exposed for tests and the ablation benches."""
+
+    n_requests: int = 0
+    n_growths: int = 0
+    bytes_requested: int = 0
+    high_water: int = 0
+    alloc_seconds: float = 0.0
+
+
+@dataclass
+class HighWaterMarkPool:
+    """Grow-only pool; allocation cost is charged only on growth.
+
+    Parameters
+    ----------
+    alloc_time : callable(nbytes) -> float
+        Cost model for a real allocation of ``nbytes`` (e.g.
+        ``TransferParams.pinned_alloc_time``).
+    capacity_limit : int or None
+        Hard ceiling (device memory size); ``None`` = unlimited (pinned
+        host memory).
+    """
+
+    alloc_time: object
+    capacity_limit: int | None = None
+    capacity: int = 0
+    stats: AllocationStats = field(default_factory=AllocationStats)
+
+    def request(self, nbytes: int) -> float:
+        """Reserve ``nbytes``; returns the simulated seconds the request
+        costs (0.0 when it fits under the high-water mark)."""
+        if nbytes < 0:
+            raise ValueError("negative allocation request")
+        self.stats.n_requests += 1
+        self.stats.bytes_requested += nbytes
+        if nbytes <= self.capacity:
+            return 0.0
+        if self.capacity_limit is not None and nbytes > self.capacity_limit:
+            raise DeviceMemoryError(
+                f"request of {nbytes} bytes exceeds device capacity "
+                f"{self.capacity_limit}"
+            )
+        cost = float(self.alloc_time(nbytes))
+        self.capacity = nbytes
+        self.stats.n_growths += 1
+        self.stats.high_water = max(self.stats.high_water, nbytes)
+        self.stats.alloc_seconds += cost
+        return cost
+
+
+@dataclass
+class PerCallPool:
+    """The naive strategy: allocate (and free) on every call.  Exists to
+    quantify what the high-water-mark policy saves."""
+
+    alloc_time: object
+    capacity_limit: int | None = None
+    stats: AllocationStats = field(default_factory=AllocationStats)
+
+    def request(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("negative allocation request")
+        self.stats.n_requests += 1
+        self.stats.bytes_requested += nbytes
+        if self.capacity_limit is not None and nbytes > self.capacity_limit:
+            raise DeviceMemoryError(
+                f"request of {nbytes} bytes exceeds device capacity "
+                f"{self.capacity_limit}"
+            )
+        cost = float(self.alloc_time(nbytes))
+        self.stats.n_growths += 1
+        self.stats.high_water = max(self.stats.high_water, nbytes)
+        self.stats.alloc_seconds += cost
+        return cost

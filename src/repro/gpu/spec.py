@@ -1,0 +1,76 @@
+"""Hardware description records (the paper's Table I and host specs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "HostSpec", "TESLA_T10", "XEON_5160_CORE"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU specification as reported in Table I of the paper."""
+
+    name: str
+    architecture: str
+    clock_ghz: float
+    scalar_cores: int
+    sm_count: int
+    device_bandwidth_gbs: float
+    pcie_bandwidth_gbs: float
+    memory_bytes: int
+    shared_mem_per_sm_bytes: int
+    peak_sp_gflops: float
+    peak_dp_gflops: float
+    sdk: str = "CUDA 2.3"
+    compiler: str = "nvcc (-O3)"
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """Rows of Table I, for the bench harness to print."""
+        return [
+            ("GPU", self.name),
+            ("Architecture Type", self.architecture),
+            ("Clock (GHz)", f"{self.clock_ghz:g}"),
+            ("Scalar Cores", f"{self.scalar_cores}({self.sm_count}x{self.scalar_cores // self.sm_count})"),
+            ("Memory b/w (GB/s)", f"{self.device_bandwidth_gbs:g} (device) {self.pcie_bandwidth_gbs:g} (PCIe x8)"),
+            ("Memory size", f"{self.memory_bytes // 2**30} GB"),
+            ("Local Store (KB)", f"{self.shared_mem_per_sm_bytes // 1024} per SM"),
+            ("SDK", self.sdk),
+            ("Compiler", self.compiler),
+        ]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One core of the host CPU."""
+
+    name: str
+    clock_ghz: float
+    peak_sp_gflops: float
+    peak_dp_gflops: float
+    l2_cache_bytes: int
+
+
+#: The paper's Tesla T10 (one GPU of a Tesla S1070, PCIe x8 attach).
+TESLA_T10 = GpuSpec(
+    name="Tesla T10",
+    architecture="multithread SIMD (SIMT)",
+    clock_ghz=1.3,
+    scalar_cores=240,
+    sm_count=30,
+    device_bandwidth_gbs=102.0,
+    pcie_bandwidth_gbs=2.0,
+    memory_bytes=4 * 2**30,
+    shared_mem_per_sm_bytes=16 * 1024,
+    peak_sp_gflops=624.0,
+    peak_dp_gflops=78.0,
+)
+
+#: One core of the HS21 blade's Intel Xeon 5160 (3.0 GHz).
+XEON_5160_CORE = HostSpec(
+    name="Xeon 5160 (1 core)",
+    clock_ghz=3.0,
+    peak_sp_gflops=24.0,
+    peak_dp_gflops=12.0,
+    l2_cache_bytes=4 * 2**20,
+)

@@ -1,0 +1,39 @@
+"""Sparse matrix substrate: containers, generators, IO, and the test suite.
+
+This subpackage provides the from-scratch compressed sparse column (CSC)
+container used throughout the reproduction, synthetic problem generators
+that stand in for the paper's 3-D structural-analysis matrices (Table II),
+and a small Matrix-Market-style text IO layer.
+"""
+
+from repro.matrices.csc import COOMatrix, CSCMatrix, csc_from_dense
+from repro.matrices.generators import (
+    anisotropic_laplacian_3d,
+    elasticity_3d,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_spd,
+    shell_elasticity,
+)
+from repro.matrices.io import read_matrix_market, write_matrix_market
+from repro.matrices.scaling import apply_scaled_solve, symmetric_diagonal_scaling
+from repro.matrices.testsuite import TEST_MATRICES, TestMatrixSpec, load_test_matrix
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "csc_from_dense",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "elasticity_3d",
+    "anisotropic_laplacian_3d",
+    "shell_elasticity",
+    "random_spd",
+    "read_matrix_market",
+    "write_matrix_market",
+    "symmetric_diagonal_scaling",
+    "apply_scaled_solve",
+    "TEST_MATRICES",
+    "TestMatrixSpec",
+    "load_test_matrix",
+]

@@ -1,0 +1,68 @@
+"""Minimal Matrix-Market (coordinate) text IO.
+
+Supports the subset of the MatrixMarket exchange format needed to persist
+and reload the SPD test problems: ``matrix coordinate real
+{general|symmetric}``.  Symmetric files store the lower triangle, as per
+the format specification.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+def write_matrix_market(path: str | os.PathLike, a: CSCMatrix, *, symmetric: bool = True) -> None:
+    """Write ``a`` in MatrixMarket coordinate format (1-based indices).
+
+    When ``symmetric=True`` only the lower triangle is written; the caller
+    asserts that ``a`` is structurally and numerically symmetric.
+    """
+    mat = a.lower_triangle() if symmetric else a
+    kind = "symmetric" if symmetric else "general"
+    col_of_entry = np.repeat(
+        np.arange(mat.n_cols, dtype=np.int64), np.diff(mat.indptr)
+    )
+    with open(path, "w") as fh:
+        fh.write(f"{_HEADER} {kind}\n")
+        fh.write(f"{mat.n_rows} {mat.n_cols} {mat.nnz}\n")
+        for i, j, v in zip(mat.indices + 1, col_of_entry + 1, mat.data):
+            # repr of a builtin float round-trips the exact bit pattern
+            fh.write(f"{i} {j} {float(v)!r}\n")
+
+
+def read_matrix_market(path: str | os.PathLike) -> CSCMatrix:
+    """Read a ``coordinate real`` MatrixMarket file into a full CSCMatrix.
+
+    Symmetric files are expanded to the full pattern on read.
+    """
+    with open(path) as fh:
+        header = fh.readline().strip()
+        if not header.startswith(_HEADER):
+            raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+        kind = header.split()[-1]
+        if kind not in ("general", "symmetric"):
+            raise ValueError(f"unsupported matrix kind: {kind!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for idx in range(nnz):
+            parts = fh.readline().split()
+            rows[idx] = int(parts[0]) - 1
+            cols[idx] = int(parts[1]) - 1
+            vals[idx] = float(parts[2])
+    mat = CSCMatrix.from_coo(rows, cols, vals, (n_rows, n_cols))
+    if kind == "symmetric":
+        mat = mat.symmetrize_from_lower()
+    return mat

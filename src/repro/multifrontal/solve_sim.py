@@ -1,0 +1,92 @@
+"""Solve-phase timing model (extension).
+
+The paper accelerates the *factorization*; the forward/backward solves
+stay on the host.  This module prices the solve phase on both devices
+so that choice can be examined — the interesting structure being that
+triangular solves are **bandwidth-bound** (every factor entry is read
+once per sweep and does ~2 flops with it), so a GPU pays off only when
+
+* the factor panels are already device-resident (amortized upload, e.g.
+  after a P4/device-resident factorization), and/or
+* many right-hand sides are solved at once, turning the panel sweeps
+  into compute-bound multi-RHS gemms.
+
+``simulate_solve`` returns simulated seconds for one forward+backward
+sweep over ``nrhs`` right-hand sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.perfmodel import PerfModel
+from repro.symbolic.symbolic import SymbolicFactor
+
+__all__ = ["SolveEstimate", "simulate_solve"]
+
+
+@dataclass(frozen=True)
+class SolveEstimate:
+    """Breakdown of one simulated solve."""
+
+    seconds: float
+    panel_bytes: float          # factor traffic per sweep (both sweeps incl.)
+    transfer_seconds: float     # PCIe share (GPU only)
+    compute_seconds: float
+    device: str
+    nrhs: int
+
+
+def _factor_bytes(sf: SymbolicFactor, word: int) -> float:
+    """Stored factor volume (read once per sweep)."""
+    return float(sf.nnz_factor) * word
+
+
+def simulate_solve(
+    sf: SymbolicFactor,
+    model: PerfModel,
+    *,
+    nrhs: int = 1,
+    device: str = "cpu",
+    panels_resident: bool = False,
+) -> SolveEstimate:
+    """Price one forward+backward solve.
+
+    Parameters
+    ----------
+    device : "cpu" or "gpu"
+    panels_resident : bool
+        GPU only — the factor already lives in device memory (it was
+        produced there), so no panel upload is charged.
+    """
+    if nrhs < 1:
+        raise ValueError("nrhs must be positive")
+    if device not in ("cpu", "gpu"):
+        raise ValueError("device must be 'cpu' or 'gpu'")
+    flops = 4.0 * sf.nnz_factor * nrhs          # 2 sweeps x 2 flops/entry
+    if device == "cpu":
+        word = 8
+        bytes_ = 2.0 * _factor_bytes(sf, word)  # two sweeps
+        t_mem = model.host_memory_time(bytes_)
+        # flops ride along with the memory traffic on the host; charge
+        # the max of the two bounds
+        t_flop = flops / model.cpu["gemm"].peak
+        t = max(t_mem, t_flop)
+        return SolveEstimate(t, bytes_, 0.0, t, "cpu", nrhs)
+    word = model.gpu_word
+    bytes_ = 2.0 * _factor_bytes(sf, word)
+    # device sweeps run at device-memory bandwidth; per-supernode kernel
+    # launches add latency on the long dependent chain
+    dev_bw = model.gpu_spec.device_bandwidth_gbs * 1e9
+    launch = 2.0 * sf.n_supernodes * model.gpu["gemm"].launch_latency
+    t_compute = max(bytes_ / dev_bw, flops / model.gpu["gemm"].peak) + launch
+    t_transfer = 0.0
+    if not panels_resident:
+        t_transfer += model.transfer_time(_factor_bytes(sf, word), pinned=True)
+    # rhs down, solution back
+    rhs_bytes = sf.n * nrhs * word
+    t_transfer += model.transfer_time(rhs_bytes, pinned=True)
+    t_transfer += model.transfer_time(rhs_bytes, pinned=True)
+    return SolveEstimate(
+        t_compute + t_transfer, bytes_, t_transfer, t_compute, "gpu", nrhs
+    )

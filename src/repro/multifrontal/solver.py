@@ -1,0 +1,201 @@
+"""High-level public API: :class:`SparseCholeskySolver`.
+
+One object drives the whole pipeline the paper describes:
+
+>>> from repro import SparseCholeskySolver
+>>> solver = SparseCholeskySolver(a, ordering="nd", policy="model")
+>>> solver.analyze().factorize()
+>>> x = solver.solve(b)
+>>> solver.stats.simulated_seconds     # the quantity the paper reports
+
+Policies may be given by name (``"P1"``..``"P4"``, ``"P4c"``,
+``"baseline"``, ``"ideal"``, ``"model"``) or as a
+:class:`~repro.policies.base.Policy` instance.  ``policy="model"``
+auto-trains a cost-sensitive classifier on synthetic timing data from
+the node's performance model (the paper's auto-tuning loop) unless a
+trained classifier is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import SimulatedNode
+from repro.matrices.csc import CSCMatrix
+from repro.multifrontal.numeric import NumericFactor, factorize_numeric
+from repro.multifrontal.refine import RefinementResult, iterative_refinement
+from repro.multifrontal.solve import solve_factored
+from repro.policies.base import Policy, make_policy
+from repro.policies.hybrid import BaselineHybrid, IdealHybrid, ModelHybrid
+from repro.symbolic.supernodes import AmalgamationParams
+from repro.symbolic.symbolic import SymbolicFactor, symbolic_factorize
+
+__all__ = ["SparseCholeskySolver", "FactorizationStats"]
+
+
+@dataclass(frozen=True)
+class FactorizationStats:
+    """Summary statistics of a completed factorization."""
+
+    n: int
+    nnz_a: int
+    nnz_factor: int
+    n_supernodes: int
+    total_flops: float
+    simulated_seconds: float
+    assembly_seconds: float
+    peak_update_bytes: int
+    policy_counts: dict[str, int]
+
+    @property
+    def effective_gflops(self) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.simulated_seconds / 1e9
+
+
+class SparseCholeskySolver:
+    """Multifrontal Cholesky solver with hybrid CPU-GPU policy scheduling."""
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        *,
+        ordering: str = "nd",
+        policy: str | Policy = "P1",
+        node: SimulatedNode | None = None,
+        amalgamation: AmalgamationParams | None = None,
+        classifier=None,
+    ):
+        if a.n_rows != a.n_cols:
+            raise ValueError("matrix must be square")
+        self.a = a if a.is_structurally_symmetric() else a.symmetrize_from_lower()
+        self.ordering = ordering
+        self.node = node if node is not None else SimulatedNode(n_cpus=1, n_gpus=1)
+        self.amalgamation = amalgamation
+        self._policy = self._build_policy(policy, classifier)
+        self.symbolic: SymbolicFactor | None = None
+        self.factor: NumericFactor | None = None
+
+    # ------------------------------------------------------------------
+    def _build_policy(self, policy: str | Policy, classifier) -> Policy:
+        if isinstance(policy, Policy):
+            return policy
+        name = policy.lower()
+        if name in ("p1", "p2", "p3", "p4", "p4c"):
+            return make_policy(policy.upper() if name != "p4c" else "P4c")
+        if name == "baseline":
+            return BaselineHybrid()
+        if name == "ideal":
+            return IdealHybrid(self.node.model)
+        if name == "model":
+            if classifier is None:
+                from repro.autotune import train_default_classifier
+
+                classifier = train_default_classifier(self.node.model)
+            return ModelHybrid(classifier)
+        raise ValueError(f"unknown policy {policy!r}")
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> "SparseCholeskySolver":
+        """Run ordering + symbolic factorization."""
+        self.symbolic = symbolic_factorize(
+            self.a, ordering=self.ordering, amalgamation=self.amalgamation
+        )
+        return self
+
+    def factorize(self) -> "SparseCholeskySolver":
+        """Run the numeric factorization (analyze first if needed)."""
+        if self.symbolic is None:
+            self.analyze()
+        self.node.reset()
+        if hasattr(self._policy, "selection_counts"):
+            self._policy.selection_counts.clear()
+        self.factor = factorize_numeric(
+            self.a, self.symbolic, self._policy, node=self.node
+        )
+        return self
+
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        refine: bool = True,
+        tol: float = 1e-12,
+        max_iter: int = 5,
+    ) -> np.ndarray:
+        """Solve ``A x = b``; refinement on by default (needed to recover
+        double precision whenever a GPU policy touched the factor)."""
+        if self.factor is None:
+            self.factorize()
+        if not refine:
+            return solve_factored(self.factor, b)
+        return self.solve_refined(b, tol=tol, max_iter=max_iter).x
+
+    def solve_refined(
+        self, b: np.ndarray, *, tol: float = 1e-12, max_iter: int = 5
+    ) -> RefinementResult:
+        """Like :meth:`solve` but returns the full refinement trace."""
+        if self.factor is None:
+            self.factorize()
+        return iterative_refinement(
+            self.a, self.factor, b, tol=tol, max_iter=max_iter
+        )
+
+    def update_values(self, a_new: CSCMatrix) -> "SparseCholeskySolver":
+        """Swap in a matrix with the *same nonzero pattern* and refactor,
+        reusing the ordering and symbolic analysis — the standard fast
+        path for sequences of systems (time stepping, Newton iterations).
+        """
+        new_full = (
+            a_new
+            if a_new.is_structurally_symmetric()
+            else a_new.symmetrize_from_lower()
+        )
+        same_pattern = (
+            new_full.shape == self.a.shape
+            and np.array_equal(new_full.indptr, self.a.indptr)
+            and np.array_equal(new_full.indices, self.a.indices)
+        )
+        if not same_pattern:
+            raise ValueError(
+                "update_values requires an identical nonzero pattern; "
+                "build a new solver for a different structure"
+            )
+        self.a = new_full
+        if self.symbolic is not None:
+            self.factor = None
+            self.factorize()
+        return self
+
+    def log_determinant(self) -> float:
+        """``log det A`` from the factor's pivots."""
+        if self.factor is None:
+            self.factorize()
+        return self.factor.log_determinant()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> FactorizationStats:
+        if self.factor is None or self.symbolic is None:
+            raise RuntimeError("factorize() first")
+        counts: dict[str, int] = {}
+        for r in self.factor.records:
+            counts[r.policy] = counts.get(r.policy, 0) + 1
+        return FactorizationStats(
+            n=self.a.n_rows,
+            nnz_a=self.a.nnz,
+            nnz_factor=self.symbolic.nnz_factor,
+            n_supernodes=self.symbolic.n_supernodes,
+            total_flops=sum(r.total_flops for r in self.factor.records),
+            simulated_seconds=self.factor.makespan,
+            assembly_seconds=self.factor.assembly_seconds,
+            peak_update_bytes=self.factor.peak_update_bytes,
+            policy_counts=counts,
+        )

@@ -1,0 +1,145 @@
+"""Quotient-graph minimum degree ordering (AMD-style).
+
+This is a from-scratch implementation of minimum degree with the standard
+quality/speed machinery of approximate-minimum-degree codes:
+
+* **quotient graph** — eliminated vertices become *elements*; a variable's
+  adjacency is ``A_v`` (uneliminated neighbors) plus ``E_v`` (elements it
+  touches), so the graph never grows beyond the original storage.
+* **element absorption** — when pivot ``p`` is eliminated, all elements
+  adjacent to it are merged into the new element ``L_p``, and entries of
+  ``A_v`` covered by ``L_p`` are pruned.
+* **approximate external degrees** — degrees are updated with the AMD
+  bound ``d(v) = w(A_v) + w(L_p \\ v) + sum_e w(L_e \\ L_p)`` rather than
+  an exact (quadratic) set union.
+* **mass elimination / supervariables** — variables in ``L_p`` with
+  identical quotient adjacency are merged; they are eliminated together
+  and therefore emerge as consecutive columns, seeding the fundamental
+  supernodes the multifrontal method factors as blocks.
+
+The asymptotics are those of classical AMD; the constant factor is
+Python's, so this ordering is intended for the ~1e4-vertex problems in the
+test suite (nested dissection handles the larger grids).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+
+__all__ = ["minimum_degree"]
+
+
+def minimum_degree(a: CSCMatrix) -> np.ndarray:
+    """Return a minimum-degree permutation (new-to-old) for the symmetric
+    pattern of ``a``."""
+    indptr, indices = a.adjacency()
+    n = indptr.size - 1
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    adj_v: list[set[int]] = [
+        set(int(u) for u in indices[indptr[v]:indptr[v + 1]]) for v in range(n)
+    ]
+    adj_e: list[set[int]] = [set() for _ in range(n)]
+    elem_members: dict[int, set[int]] = {}
+    weight = np.ones(n, dtype=np.int64)       # originals merged into each supervar
+    merged: list[list[int]] = [[v] for v in range(n)]
+    alive = np.ones(n, dtype=bool)
+    degree = np.array([len(s) for s in adj_v], dtype=np.int64)
+
+    heap: list[tuple[int, int]] = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+
+    order: list[int] = []
+    n_eliminated = 0
+
+    while n_eliminated < n:
+        # pop the minimum-degree live supervariable (lazy deletion)
+        while True:
+            d, p = heapq.heappop(heap)
+            if alive[p] and d == degree[p]:
+                break
+
+        # ---- form L_p: variable neighbors plus members of adjacent elements
+        lp: set[int] = {v for v in adj_v[p] if alive[v]}
+        for e in adj_e[p]:
+            lp.update(v for v in elem_members[e] if alive[v])
+        lp.discard(p)
+
+        # ---- eliminate p (and everything merged into it)
+        order.extend(merged[p])
+        n_eliminated += int(weight[p])
+        alive[p] = False
+        absorbed = adj_e[p]
+        for e in absorbed:
+            del elem_members[e]
+        adj_v[p] = set()
+        adj_e[p] = set()
+        elem_members[p] = set(lp)
+
+        if not lp:
+            continue
+
+        # ---- per-element external weights w(L_e \ L_p), one pass (AMD bound)
+        extern_w: dict[int, int] = {}
+        for v in lp:
+            for e in adj_e[v]:
+                if e not in extern_w and e != p and e in elem_members:
+                    extern_w[e] = sum(
+                        int(weight[u]) for u in elem_members[e] if alive[u] and u not in lp
+                    )
+
+        w_lp = int(sum(weight[v] for v in lp))
+
+        # ---- update each variable in L_p
+        for v in lp:
+            av = adj_v[v]
+            av.discard(p)
+            av.difference_update(lp)          # covered by the new element
+            av = {u for u in av if alive[u]}
+            adj_v[v] = av
+            ev = {e for e in adj_e[v] if e in elem_members and e != p}
+            ev.add(p)                          # the new element is named p
+            adj_e[v] = ev
+            d = sum(int(weight[u]) for u in av)
+            d += w_lp - int(weight[v])
+            d += sum(extern_w.get(e, 0) for e in ev if e != p)
+            degree[v] = max(1, d) if (av or len(ev) > 1 or w_lp > weight[v]) else 0
+            heapq.heappush(heap, (int(degree[v]), v))
+
+        # ---- supervariable detection: merge indistinguishable members of L_p
+        signature: dict[tuple, int] = {}
+        for v in sorted(lp):
+            if not alive[v]:
+                continue
+            sig = (
+                tuple(sorted(adj_v[v])),
+                tuple(sorted(adj_e[v])),
+            )
+            keeper = signature.get(sig)
+            if keeper is None:
+                signature[sig] = v
+            else:
+                # merge v into keeper
+                weight[keeper] += weight[v]
+                merged[keeper].extend(merged[v])
+                merged[v] = []
+                alive[v] = False
+                adj_v[v] = set()
+                adj_e[v] = set()
+                for members in elem_members.values():
+                    members.discard(v)
+                for u in list(adj_v[keeper]):
+                    adj_v[u].discard(v)
+                # external degree of the keeper shrinks by the merged weight
+                degree[keeper] = max(0, int(degree[keeper]) - int(weight[v] - 0))
+                heapq.heappush(heap, (int(degree[keeper]), keeper))
+
+    perm = np.asarray(order, dtype=np.int64)
+    if perm.size != n or np.unique(perm).size != n:
+        raise AssertionError("minimum degree produced an invalid permutation")
+    return perm

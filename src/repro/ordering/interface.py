@@ -1,0 +1,65 @@
+"""Uniform entry point for the ordering package."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+
+__all__ = [
+    "ORDERING_METHODS",
+    "compute_ordering",
+    "natural_ordering",
+    "invert_permutation",
+]
+
+
+def natural_ordering(a: CSCMatrix) -> np.ndarray:
+    """Identity permutation (no reordering)."""
+    return np.arange(a.n_rows, dtype=np.int64)
+
+
+def _methods() -> dict[str, Callable[[CSCMatrix], np.ndarray]]:
+    # imported lazily to avoid a circular import with nested_dissection,
+    # which falls back to minimum_degree at its leaves
+    from repro.ordering.amd import minimum_degree
+    from repro.ordering.nested_dissection import nested_dissection
+    from repro.ordering.rcm import reverse_cuthill_mckee
+
+    return {
+        "natural": natural_ordering,
+        "amd": minimum_degree,
+        "rcm": reverse_cuthill_mckee,
+        "nd": nested_dissection,
+    }
+
+
+ORDERING_METHODS = ("natural", "amd", "rcm", "nd")
+
+
+def compute_ordering(a: CSCMatrix, method: str = "nd") -> np.ndarray:
+    """Compute a fill-reducing permutation (new-to-old convention).
+
+    Parameters
+    ----------
+    a : CSCMatrix
+        Symmetric (or lower-triangular-stored) sparse matrix.
+    method : str
+        One of ``natural``, ``amd``, ``rcm``, ``nd`` (default; nested
+        dissection is what gives 3-D problems the large root fronts the
+        hybrid CPU-GPU policies exploit).
+    """
+    table = _methods()
+    if method not in table:
+        raise ValueError(f"unknown ordering {method!r}; choose from {ORDERING_METHODS}")
+    return table[method](a)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Given ``perm[new] = old`` return ``inv[old] = new``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv

@@ -1,0 +1,28 @@
+"""Task-parallel factorization over multiple workers.
+
+The paper's Section VI-C runs WSMP's task-parallel formulation with 2
+CPU threads and 2 GPUs (one host thread per GPU) and a 4-thread CPU-only
+comparison.  This subpackage reproduces that with a static critical-path
+list scheduler over the supernodal elimination tree: each supernode's
+factor-update is one task, dependencies follow the tree, and large
+fronts near the root can be gang-scheduled across all workers (the
+multifrontal analog of switching to parallel BLAS at the top of the
+tree).
+"""
+
+from repro.parallel.scheduler import (
+    ParallelResult,
+    ScheduledTask,
+    list_schedule,
+    parallel_factorize,
+)
+from repro.parallel.workers import WorkerPool, make_worker_pool
+
+__all__ = [
+    "WorkerPool",
+    "make_worker_pool",
+    "list_schedule",
+    "ScheduledTask",
+    "ParallelResult",
+    "parallel_factorize",
+]

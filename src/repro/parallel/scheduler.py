@@ -1,0 +1,251 @@
+"""Critical-path list scheduling of the supernodal task DAG.
+
+Static list scheduling with the standard "upward rank" priority: a
+task's rank is its own duration plus the maximum rank of its parents
+(here the tree has a single parent per task, so rank = distance to the
+root in seconds).  Repeatedly take the highest-rank ready task and place
+it on the worker where it can start earliest.
+
+Large fronts near the root serialize the whole machine if bound to one
+worker, so tasks whose flop count exceeds ``gang_threshold`` are
+*gang-scheduled*: they wait for every worker and run at
+``duration / (1 + (p - 1) * gang_efficiency)`` — the multifrontal analog
+of WSMP switching to parallel dense kernels at the top of the
+elimination tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import SimulatedNode
+from repro.matrices.csc import CSCMatrix
+from repro.multifrontal.frontal import assemble_front, assembly_bytes
+from repro.multifrontal.numeric import FURecord, NumericFactor
+from repro.parallel.workers import WorkerPool
+from repro.policies.base import Policy, Worker, estimate_policy_time
+from repro.symbolic.symbolic import SymbolicFactor, factor_update_flops
+
+__all__ = ["ScheduledTask", "ParallelResult", "list_schedule", "parallel_factorize"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of one supernode's work."""
+
+    sid: int
+    worker: int              # -1 when gang-scheduled on all workers
+    start: float
+    end: float
+    policy: str
+    gang: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a parallel (or serial) scheduled factorization."""
+
+    makespan: float
+    schedule: list[ScheduledTask]
+    factor: NumericFactor | None = None
+    worker_busy: list[float] = field(default_factory=list)
+
+    def speedup_vs(self, serial_seconds: float) -> float:
+        return serial_seconds / self.makespan if self.makespan > 0 else float("inf")
+
+    def utilization(self) -> float:
+        if not self.worker_busy or self.makespan <= 0:
+            return 0.0
+        return float(np.mean(self.worker_busy) / self.makespan)
+
+
+def _task_durations(
+    sf: SymbolicFactor,
+    policy: Policy,
+    pool: WorkerPool,
+) -> tuple[np.ndarray, list[str]]:
+    """Per-supernode durations (assembly + F-U) and resolved policy names.
+
+    Durations are isolated per-call makespans from the performance model;
+    a worker without a GPU falls back to P1 — handled at placement time
+    by pricing both variants.
+    """
+    model = pool.node.model
+    n_super = sf.n_supernodes
+    dur = np.zeros(n_super)
+    names: list[str] = []
+    gpu_worker = pool.gpu_worker()
+    probe_worker = gpu_worker if gpu_worker is not None else pool.workers[0]
+    kids = sf.schildren()
+    dur_cache: dict[tuple[int, int], tuple[float, str]] = {}
+    for s in range(n_super):
+        k = sf.width(s)
+        m = sf.update_size(s)
+        key = (m, k)
+        hit = dur_cache.get(key)
+        if hit is None:
+            base = (
+                policy.resolve(m, k, probe_worker)
+                if hasattr(policy, "resolve")
+                else policy
+            )
+            t_fu = estimate_policy_time(base, m, k, model)
+            hit = (t_fu, base.name)
+            dur_cache[key] = hit
+        t_fu, name = hit
+        t_asm = model.host_memory_time(
+            assembly_bytes(
+                sf.rows[s].size, [sf.rows[c].size - sf.width(c) for c in kids[s]]
+            )
+        )
+        dur[s] = t_fu + t_asm
+        names.append(name)
+    return dur, names
+
+
+def list_schedule(
+    sf: SymbolicFactor,
+    policy: Policy,
+    pool: WorkerPool,
+    *,
+    gang_threshold: float = 5e7,
+    gang_efficiency: float = 0.8,
+) -> ParallelResult:
+    """Compute the parallel schedule (no numerics).
+
+    Returns start/end per supernode and the makespan.  With a single
+    worker this degenerates to the serial postorder sum.
+    """
+    n_super = sf.n_supernodes
+    p = pool.n_workers
+    dur, names = _task_durations(sf, policy, pool)
+
+    # upward rank: seconds from this task to the root, inclusive
+    rank = dur.copy()
+    order = list(sf.spost[::-1])  # parents first
+    for s in order:
+        parent = int(sf.sparent[s])
+        if parent >= 0:
+            rank[s] = dur[s] + rank[parent]
+
+    flops = np.array(
+        [sum(factor_update_flops(sf.update_size(s), sf.width(s)))
+         for s in range(n_super)]
+    )
+    kids = sf.schildren()
+    n_pending = np.array([len(kids[s]) for s in range(n_super)])
+    # max-heap on upward rank (negated for heapq)
+    import heapq
+
+    ready = [(-float(rank[s]), s) for s in range(n_super) if n_pending[s] == 0]
+    heapq.heapify(ready)
+    finish = np.zeros(n_super)
+    worker_free = [0.0] * p
+    worker_busy = [0.0] * p
+    schedule: list[ScheduledTask] = []
+    done = 0
+    while ready:
+        # highest-rank ready task first
+        _, s = heapq.heappop(ready)
+        deps_done = max((finish[c] for c in kids[s]), default=0.0)
+        gang = p > 1 and flops[s] >= gang_threshold
+        if gang:
+            start = max(deps_done, max(worker_free))
+            speed = 1.0 + (p - 1) * gang_efficiency
+            end = start + dur[s] / speed
+            for w in range(p):
+                worker_free[w] = end
+                worker_busy[w] += (end - start)
+            schedule.append(ScheduledTask(s, -1, start, end, names[s], True))
+        else:
+            # earliest-start placement
+            best_w = min(
+                range(p), key=lambda w: (max(worker_free[w], deps_done), w)
+            )
+            start = max(worker_free[best_w], deps_done)
+            end = start + dur[s]
+            worker_free[best_w] = end
+            worker_busy[best_w] += dur[s]
+            schedule.append(ScheduledTask(s, best_w, start, end, names[s], False))
+        finish[s] = end
+        done += 1
+        parent = int(sf.sparent[s])
+        if parent >= 0:
+            n_pending[parent] -= 1
+            if n_pending[parent] == 0:
+                heapq.heappush(ready, (-float(rank[parent]), parent))
+    if done != n_super:
+        raise AssertionError("scheduler failed to place every supernode")
+    makespan = float(finish.max()) if n_super else 0.0
+    schedule.sort(key=lambda t: t.start)
+    return ParallelResult(makespan, schedule, None, worker_busy)
+
+
+def parallel_factorize(
+    a: CSCMatrix,
+    sf: SymbolicFactor,
+    policy: Policy,
+    pool: WorkerPool,
+    *,
+    gang_threshold: float = 5e7,
+    gang_efficiency: float = 0.8,
+) -> ParallelResult:
+    """Schedule *and* numerically factor.
+
+    The numeric result is schedule-independent (each supernode's F-U is
+    computed exactly once, with the dtype implied by its resolved
+    policy), so numerics run in postorder on a canonical worker while
+    times come from :func:`list_schedule`.
+    """
+    result = list_schedule(
+        sf, policy, pool,
+        gang_threshold=gang_threshold, gang_efficiency=gang_efficiency,
+    )
+    by_sid = {t.sid: t for t in result.schedule}
+
+    gpu_worker = pool.gpu_worker()
+    numeric_worker = gpu_worker if gpu_worker is not None else pool.workers[0]
+    a_perm = a.permute_symmetric(sf.perm)
+    a_lower = a_perm.lower_triangle()
+    kids = sf.schildren()
+    panels: list[np.ndarray | None] = [None] * sf.n_supernodes
+    updates: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    records: list[FURecord] = []
+    for s in sf.spost:
+        s = int(s)
+        rows = sf.rows[s]
+        k = sf.width(s)
+        m = rows.size - k
+        child_updates = [updates.pop(c) for c in kids[s] if c in updates]
+        front = assemble_front(a_lower, sf, s, child_updates)
+        base = (
+            policy.resolve(m, k, numeric_worker)
+            if hasattr(policy, "resolve")
+            else policy
+        )
+        l1, l2, u = base.apply(front, k, numeric_worker)
+        panels[s] = front[:, :k].copy()
+        if m > 0:
+            updates[s] = (rows[k:], front[k:, k:].copy())
+        t = by_sid[s]
+        records.append(
+            FURecord(
+                sid=s, m=m, k=k, policy=t.policy, start=t.start, end=t.end,
+                components={}, flops=factor_update_flops(m, k),
+            )
+        )
+    factor = NumericFactor(
+        sf=sf,
+        panels=[pnl for pnl in panels],  # type: ignore[misc]
+        records=records,
+        makespan=result.makespan,
+        node=pool.node,
+    )
+    result.factor = factor
+    return result

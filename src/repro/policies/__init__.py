@@ -1,0 +1,56 @@
+"""The four factor-update placement policies (Table VI) and the hybrids.
+
+========  ========================================================
+policy    placement
+========  ========================================================
+``P1``    potrf, trsm, syrk all on the host CPU (serial baseline)
+``P2``    potrf, trsm on CPU; syrk on GPU (overlapped copies)
+``P3``    potrf on CPU; trsm and syrk on GPU (overlapped copies)
+``P4``    potrf, trsm, syrk all on GPU (Figure-9 blocked panels)
+========  ========================================================
+
+Hybrids select one of the four per F-U call:
+
+* :class:`BaselineHybrid` — the paper's P_BH, thresholds on total flops
+  (2e6 / 1.5e7 / 9e10),
+* :class:`IdealHybrid` — the oracle P_IH, argmin of the measured times,
+* :class:`ModelHybrid` — the paper's contribution P_MH, a trained
+  cost-sensitive multinomial-logistic classifier (see
+  :mod:`repro.autotune`).
+"""
+
+from repro.policies.base import (
+    ALL_BASE_POLICIES,
+    FUPlan,
+    PolicyP1,
+    PolicyP2,
+    PolicyP3,
+    PolicyP4,
+    Policy,
+    Worker,
+    estimate_policy_time,
+    make_policy,
+)
+from repro.policies.hybrid import (
+    BaselineHybrid,
+    HybridPolicy,
+    IdealHybrid,
+    ModelHybrid,
+)
+
+__all__ = [
+    "Policy",
+    "PolicyP1",
+    "PolicyP2",
+    "PolicyP3",
+    "PolicyP4",
+    "ALL_BASE_POLICIES",
+    "FUPlan",
+    "Worker",
+    "make_policy",
+    "estimate_policy_time",
+    "HybridPolicy",
+    "BaselineHybrid",
+    "IdealHybrid",
+    "ModelHybrid",
+]

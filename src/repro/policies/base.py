@@ -1,0 +1,496 @@
+"""The four base placement policies for one factor-update call.
+
+Every policy separates *planning* from *numerics*:
+
+* :meth:`Policy.plan` appends :class:`SimTask` objects for the kernels,
+  copies and host applies of one F-U call to a task graph — this is the
+  timed artifact, and is also what the policy-time estimator and the
+  auto-tuner's training-data generator price (no floating point work).
+* :meth:`Policy.apply` performs the actual numerics on the frontal
+  matrix in the matching order: host kernels in float64, device kernels
+  in float32 through the simulated CUBLAS context (so GPU-touched results
+  really carry single-precision error, as the paper's did).
+
+``execute`` runs both and returns the factored blocks plus the scheduled
+tasks; the numeric driver in :mod:`repro.multifrontal` threads engine
+timelines through successive calls so copies and kernels of neighboring
+supernodes contend realistically.
+
+Transfer-volume accounting follows the paper's Equation 2:
+``N_D(L1, L2) = k^2 + 2mk`` words for the trsm round trip and
+``N_D(L2 L2^T) = m^2`` words for the update product, in device (float32)
+words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dense import kernels as hk
+from repro.dense.blocked import blocked_cholesky_panels, default_panel_width
+from repro.gpu.clock import EngineTimeline, SimTask, TaskGraph, schedule_graph
+from repro.gpu.cublas import panel_kernel_sequence
+from repro.gpu.device import SimulatedGpu, SimulatedNode
+from repro.gpu.perfmodel import PerfModel
+
+__all__ = [
+    "Worker",
+    "FUPlan",
+    "FUExecution",
+    "Policy",
+    "PolicyP1",
+    "PolicyP2",
+    "PolicyP3",
+    "PolicyP4",
+    "ALL_BASE_POLICIES",
+    "make_policy",
+    "estimate_policy_time",
+]
+
+
+@dataclass
+class Worker:
+    """An execution lane: one host CPU engine plus at most one GPU.
+
+    The paper's multi-GPU configuration runs one host thread per GPU
+    ("our approach uses the same number of threads as the number of
+    available GPUs"), which is exactly this pairing.
+    """
+
+    cpu_engine: str
+    gpu: SimulatedGpu | None = None
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+
+@dataclass
+class FUPlan:
+    """The planned task graph of one F-U call."""
+
+    graph: TaskGraph
+    final: SimTask
+    roles: dict[str, SimTask] = field(default_factory=dict)
+
+    def duration_by_category(self) -> dict[str, float]:
+        return self.graph.total_by_category()
+
+
+@dataclass
+class FUExecution:
+    """Result of executing one F-U call under a policy."""
+
+    l1: np.ndarray
+    l2: np.ndarray
+    u: np.ndarray
+    plan: FUPlan
+    start: float
+    end: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+class Policy:
+    """Base class; concrete policies implement ``plan`` and ``apply``."""
+
+    name: str = "?"
+    needs_gpu: bool = True
+
+    # -- planning ---------------------------------------------------------
+    def plan(
+        self,
+        m: int,
+        k: int,
+        worker: Worker,
+        model: PerfModel,
+        graph: TaskGraph,
+        deps: tuple = (),
+    ) -> FUPlan:
+        raise NotImplementedError
+
+    # -- numerics ---------------------------------------------------------
+    def apply(
+        self, front: np.ndarray, k: int, worker: Worker
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Factor ``front`` in place; returns views/arrays (L1, L2, U)."""
+        raise NotImplementedError
+
+    # -- combined ---------------------------------------------------------
+    def execute(
+        self,
+        front: np.ndarray,
+        k: int,
+        worker: Worker,
+        node: SimulatedNode,
+        deps: tuple = (),
+    ) -> FUExecution:
+        if self.needs_gpu and not worker.has_gpu:
+            raise ValueError(f"policy {self.name} requires a GPU worker")
+        m = front.shape[0] - k
+        graph = TaskGraph()
+        plan = self.plan(m, k, worker, node.model, graph, deps)
+        result = schedule_graph(graph, engines=node.engines)
+        l1, l2, u = self.apply(front, k, worker)
+        start = min(t.start for t in graph.tasks)
+        return FUExecution(l1, l2, u, plan, start, plan.final.end)
+
+    def applicable(self, worker: Worker) -> bool:
+        return worker.has_gpu or not self.needs_gpu
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Policy {self.name}>"
+
+
+def _host_apply_time(model: PerfModel, m: int) -> float:
+    """Host-side ``U -= W`` axpy: read W, read+write U (3 m^2 doubles)."""
+    return model.host_memory_time(3.0 * m * m * model.CPU_WORD)
+
+
+class PolicyP1(Policy):
+    """Everything on the host CPU in double precision."""
+
+    name = "P1"
+    needs_gpu = False
+
+    def plan(self, m, k, worker, model, graph, deps=()):
+        t_potrf = graph.add(
+            "potrf", worker.cpu_engine,
+            model.kernel_time("cpu", "potrf", k=k), deps, "potrf",
+        )
+        last = t_potrf
+        roles = {"potrf": t_potrf}
+        if m > 0:
+            t_trsm = graph.add(
+                "trsm", worker.cpu_engine,
+                model.kernel_time("cpu", "trsm", m=m, k=k), (t_potrf,), "trsm",
+            )
+            t_syrk = graph.add(
+                "syrk", worker.cpu_engine,
+                model.kernel_time("cpu", "syrk", m=m, k=k), (t_trsm,), "syrk",
+            )
+            roles.update(trsm=t_trsm, syrk=t_syrk)
+            last = t_syrk
+        return FUPlan(graph, last, roles)
+
+    def apply(self, front, k, worker):
+        m = front.shape[0] - k
+        l1 = hk.potrf(front[:k, :k])
+        front[:k, :k] = l1
+        l2 = front[k:, :k]
+        u = front[k:, k:]
+        if m > 0:
+            l2[...] = hk.trsm_right_lower(l2, l1)
+            hk.syrk(u, l2)
+        return l1, l2, u
+
+
+class PolicyP2(Policy):
+    """potrf and trsm on the CPU; syrk offloaded to the GPU.
+
+    Copies: H2D of the *solved* L2 (mk words, pinned), compute
+    ``W = L2 L2^T`` on the device, D2H of W (m^2 words, pinned), then a
+    host apply ``U -= W``.  The H2D cannot overlap the potrf/trsm because
+    it needs the solved panel, so P2 pays the full transfer on its
+    critical path — which is why it only wins a band of moderate sizes
+    (Figures 10-12).
+    """
+
+    name = "P2"
+
+    def plan(self, m, k, worker, model, graph, deps=()):
+        gpu = worker.gpu
+        word = model.gpu_word
+        t_potrf = graph.add(
+            "potrf", worker.cpu_engine,
+            model.kernel_time("cpu", "potrf", k=k), deps, "potrf",
+        )
+        roles = {"potrf": t_potrf}
+        if m == 0:
+            return FUPlan(graph, t_potrf, roles)
+        t_trsm = graph.add(
+            "trsm", worker.cpu_engine,
+            model.kernel_time("cpu", "trsm", m=m, k=k), (t_potrf,), "trsm",
+        )
+        alloc = gpu.reserve((m * k + m * m) * word, (m * k + m * m) * word)
+        t_prep = graph.add(
+            "pin/alloc", worker.cpu_engine, alloc, (t_trsm,), "alloc"
+        )
+        t_h2d = graph.add(
+            "h2d:L2", gpu.h2d_engine,
+            model.transfer_time(m * k * word, pinned=True), (t_prep,), "copy",
+        )
+        t_syrk = graph.add(
+            "syrk", gpu.compute_engine,
+            model.kernel_time("gpu", "syrk", m=m, k=k), (t_h2d,), "syrk",
+        )
+        t_d2h = graph.add(
+            "d2h:W", gpu.d2h_engine,
+            model.transfer_time(m * m * word, pinned=True), (t_syrk,), "copy",
+        )
+        t_apply = graph.add(
+            "apply:U-=W", worker.cpu_engine,
+            _host_apply_time(model, m), (t_d2h,), "assemble",
+        )
+        roles.update(trsm=t_trsm, h2d=t_h2d, syrk=t_syrk, d2h=t_d2h, apply=t_apply)
+        return FUPlan(graph, t_apply, roles)
+
+    def apply(self, front, k, worker):
+        m = front.shape[0] - k
+        l1 = hk.potrf(front[:k, :k])
+        front[:k, :k] = l1
+        l2 = front[k:, :k]
+        u = front[k:, k:]
+        if m > 0:
+            l2[...] = hk.trsm_right_lower(l2, l1)
+            ctx = worker.gpu.cublas
+            x_dev = l2.astype(ctx.dtype)              # H2D
+            w = ctx.syrk_outer(x_dev)                 # device compute
+            u -= w.astype(np.float64)                 # D2H + host apply
+        return l1, l2, u
+
+
+class PolicyP3(Policy):
+    """potrf on the CPU; trsm and syrk on the GPU, with the Section V-A2
+    overlaps: H2D of the unsolved panel L2 runs *during* the host potrf,
+    and the D2H of the solved L2 runs under the device syrk.
+
+    ``overlap=False, pinned=False`` gives the paper's *basic GPU
+    implementation* of Section IV — synchronous pageable copies strictly
+    interleaved with the kernels — which is the configuration Figures
+    2(b), 3, 5 and 6 and Table IV profile (registered as policy name
+    ``"basic"``).
+    """
+
+    name = "P3"
+
+    def __init__(self, *, overlap: bool = True, pinned: bool = True):
+        self.overlap = overlap
+        self.pinned = pinned
+        if not (overlap and pinned):
+            self.name = "P3basic"
+
+    def plan(self, m, k, worker, model, graph, deps=()):
+        gpu = worker.gpu
+        word = model.gpu_word
+        pinned = self.pinned
+        alloc = gpu.reserve(
+            (k * k + m * k + m * m) * word,
+            (k * k + m * k + m * m) * word if pinned else 0,
+        )
+        t_prep = graph.add("pin/alloc", worker.cpu_engine, alloc, deps, "alloc")
+        t_potrf = graph.add(
+            "potrf", worker.cpu_engine,
+            model.kernel_time("cpu", "potrf", k=k), (t_prep,), "potrf",
+        )
+        roles = {"potrf": t_potrf}
+        if m == 0:
+            return FUPlan(graph, t_potrf, roles)
+        # unsolved panel upload; overlaps the host potrf when enabled,
+        # otherwise waits for it (the basic implementation's synchronous
+        # cudaMemcpy after the host step)
+        t_h2d_l2 = graph.add(
+            "h2d:L2", gpu.h2d_engine,
+            model.transfer_time(m * k * word, pinned=pinned),
+            (t_prep,) if self.overlap else (t_potrf,), "copy",
+        )
+        t_h2d_l1 = graph.add(
+            "h2d:L1", gpu.h2d_engine,
+            model.transfer_time(k * k * word, pinned=pinned), (t_potrf,), "copy",
+        )
+        t_trsm = graph.add(
+            "trsm", gpu.compute_engine,
+            model.kernel_time("gpu", "trsm", m=m, k=k),
+            (t_h2d_l2, t_h2d_l1), "trsm",
+        )
+        # solved panel comes home while the syrk runs (overlap) or before
+        # the syrk may start (basic, synchronous)
+        t_d2h_l2 = graph.add(
+            "d2h:L2", gpu.d2h_engine,
+            model.transfer_time(m * k * word, pinned=pinned), (t_trsm,), "copy",
+        )
+        t_syrk = graph.add(
+            "syrk", gpu.compute_engine,
+            model.kernel_time("gpu", "syrk", m=m, k=k),
+            (t_trsm,) if self.overlap else (t_trsm, t_d2h_l2), "syrk",
+        )
+        t_d2h_w = graph.add(
+            "d2h:W", gpu.d2h_engine,
+            model.transfer_time(m * m * word, pinned=pinned), (t_syrk,), "copy",
+        )
+        t_apply = graph.add(
+            "apply:U-=W", worker.cpu_engine,
+            _host_apply_time(model, m), (t_d2h_w, t_d2h_l2), "assemble",
+        )
+        roles.update(
+            trsm=t_trsm, syrk=t_syrk, h2d_l1=t_h2d_l1, h2d_l2=t_h2d_l2,
+            d2h_l2=t_d2h_l2, d2h_w=t_d2h_w, apply=t_apply,
+        )
+        return FUPlan(graph, t_apply, roles)
+
+    def apply(self, front, k, worker):
+        m = front.shape[0] - k
+        l1 = hk.potrf(front[:k, :k])
+        front[:k, :k] = l1
+        l2 = front[k:, :k]
+        u = front[k:, k:]
+        if m > 0:
+            ctx = worker.gpu.cublas
+            l1_dev = l1.astype(ctx.dtype)             # H2D
+            l2_dev = l2.astype(ctx.dtype)             # H2D
+            x_dev = ctx.trsm(l2_dev, l1_dev)          # device trsm
+            l2[...] = x_dev.astype(np.float64)        # D2H
+            w = ctx.syrk_outer(x_dev)                 # device syrk
+            u -= w.astype(np.float64)                 # D2H + host apply
+        return l1, l2, u
+
+
+class PolicyP4(Policy):
+    """Everything on the GPU: upload the whole frontal matrix, run the
+    Figure-9 blocked panel factorization on the device, download the
+    factored panel and the update matrix.
+
+    ``copy_optimized=True`` models the Section VI-C variant discovered
+    for the multi-GPU runs: triangle-only transfer volumes and the U
+    download overlapped with the tail of the panel loop, which makes P4
+    "the better policy for even moderately sized frontal matrices".
+    """
+
+    name = "P4"
+
+    def __init__(self, *, copy_optimized: bool = False, panel_width: int | None = None):
+        self.copy_optimized = copy_optimized
+        self.panel_width = panel_width
+        if copy_optimized:
+            self.name = "P4c"
+
+    def _width(self, k: int) -> int:
+        return self.panel_width if self.panel_width else default_panel_width(k)
+
+    def plan(self, m, k, worker, model, graph, deps=()):
+        gpu = worker.gpu
+        word = model.gpu_word
+        s = m + k
+        alloc = gpu.reserve(s * s * word, s * s * word)
+        t_prep = graph.add("pin/alloc", worker.cpu_engine, alloc, deps, "alloc")
+        if self.copy_optimized:
+            up_words = s * (s + 1) // 2
+            down_panel_words = k * (k + 1) // 2 + m * k
+            down_u_words = m * (m + 1) // 2
+        else:
+            up_words = s * s
+            down_panel_words = k * k + m * k
+            down_u_words = m * m
+        t_h2d = graph.add(
+            "h2d:F", gpu.h2d_engine,
+            model.transfer_time(up_words * word, pinned=True), (t_prep,), "copy",
+        )
+        # one task per device kernel of the blocked loop
+        calls = panel_kernel_sequence(s, k, self._width(k))
+        prev: SimTask = t_h2d
+        kernel_tasks: list[SimTask] = []
+        for c in calls:
+            t = graph.add(
+                f"gpu:{c.kernel}", gpu.compute_engine,
+                model.kernel_time("gpu", c.kernel, m=c.m, n=c.n, k=c.k),
+                (prev,), c.kernel,
+            )
+            kernel_tasks.append(t)
+            prev = t
+        roles = {"h2d": t_h2d, "compute_last": prev}
+        if self.copy_optimized and m > 0 and len(kernel_tasks) > 1:
+            # U accumulates panel by panel; start draining it once ~80%
+            # of the loop has retired
+            drain_after = kernel_tasks[max(0, int(0.8 * len(kernel_tasks)) - 1)]
+            t_d2h_u = graph.add(
+                "d2h:U", gpu.d2h_engine,
+                model.transfer_time(down_u_words * word, pinned=True),
+                (drain_after,), "copy",
+            )
+        elif m > 0:
+            t_d2h_u = graph.add(
+                "d2h:U", gpu.d2h_engine,
+                model.transfer_time(down_u_words * word, pinned=True),
+                (prev,), "copy",
+            )
+        else:
+            t_d2h_u = None
+        t_d2h_panel = graph.add(
+            "d2h:L", gpu.d2h_engine,
+            model.transfer_time(down_panel_words * word, pinned=True),
+            (prev,), "copy",
+        )
+        final_deps = [t_d2h_panel]
+        if t_d2h_u is not None:
+            final_deps.append(t_d2h_u)
+            # ensure U is complete before its download finishes being used
+            if t_d2h_u.deps and t_d2h_u.deps[0] is not prev:
+                t_sync = graph.add(
+                    "sync:U", gpu.d2h_engine, 0.0, (prev, t_d2h_u), "other"
+                )
+                final_deps.append(t_sync)
+        t_done = graph.add(
+            "fu-done", worker.cpu_engine, 0.0, tuple(final_deps), "other"
+        )
+        roles["d2h_panel"] = t_d2h_panel
+        if t_d2h_u is not None:
+            roles["d2h_u"] = t_d2h_u
+        return FUPlan(graph, t_done, roles)
+
+    def apply(self, front, k, worker):
+        ctx = worker.gpu.cublas
+        f_dev = front.astype(ctx.dtype)               # H2D of the whole front
+        blocked_cholesky_panels(f_dev, k, self._width(k), ctx)
+        front[...] = f_dev.astype(np.float64)         # D2H
+        return front[:k, :k], front[k:, :k], front[k:, k:]
+
+
+ALL_BASE_POLICIES = ("P1", "P2", "P3", "P4")
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Construct a base policy by name (``P1`` .. ``P4``, ``P4c``)."""
+    table = {
+        "P1": PolicyP1,
+        "P2": PolicyP2,
+        "P3": PolicyP3,
+        "P4": PolicyP4,
+    }
+    if name == "P4c":
+        return PolicyP4(copy_optimized=True, **kwargs)
+    if name == "basic":
+        # the Section IV basic GPU implementation: trsm+syrk offloaded
+        # with synchronous pageable copies
+        return PolicyP3(overlap=False, pinned=False, **kwargs)
+    if name not in table:
+        raise ValueError(f"unknown policy {name!r}")
+    return table[name](**kwargs)
+
+
+def estimate_policy_time(
+    policy: Policy, m: int, k: int, model: PerfModel, *, warm_pools: bool = True
+) -> float:
+    """Isolated simulated time of one F-U call under ``policy`` — fresh
+    engines, no contention; this is the quantity T_ij the auto-tuner
+    trains on and the per-call comparisons of Figures 10-12 plot.
+
+    ``warm_pools=True`` (default) prices the steady state where the
+    high-water-mark pools already fit the call (Section V-A2); pass
+    False to include first-touch allocation costs.
+    """
+    node = SimulatedNode(model=model, n_cpus=1, n_gpus=1)
+    worker = Worker("cpu0", node.gpus[0] if node.gpus else None)
+    if warm_pools and worker.gpu is not None:
+        s = m + k
+        word = model.gpu_word
+        worker.gpu.device_pool.capacity = max(1, s * s * word)
+        worker.gpu.pinned_pool.capacity = max(1, s * s * word)
+    graph = TaskGraph()
+    plan = policy.plan(m, k, worker, model, graph, ())
+    engines: dict[str, EngineTimeline] = {}
+    res = schedule_graph(graph, engines=engines)
+    return res.makespan

@@ -1,0 +1,103 @@
+"""Assemble the benchmark outputs into a single reproduction report.
+
+``python -m repro.report`` (or :func:`build_report`) collects every
+rendered table/figure under ``benchmarks/results/`` into one markdown
+document, ordered to follow the paper, with the EXPERIMENTS.md
+commentary as the preamble.  Run the benches first::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro.report --out REPORT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+__all__ = ["build_report", "main"]
+
+#: presentation order (paper order); anything else is appended after
+_ORDER = [
+    "table1_gpu_spec",
+    "table2_matrices",
+    "fig2_load_distribution",
+    "fig3_theoretical_speedup",
+    "fig4_flop_rates",
+    "table3_stabilized_rates",
+    "fig5_fig6_component_times",
+    "table4_potrf_share",
+    "fig7_trsm_transition",
+    "fig8_syrk_transition",
+    "table5_gpu_potrf",
+    "table6_policies",
+    "fig10_fig11_policy_rates",
+    "fig12_policy_map_small",
+    "fig13_policy_map_large",
+    "fig14_hybrid_speedup_map",
+    "table7_end_to_end",
+    "eqn12_cost_model",
+    "remark_2d_vs_3d",
+    "remark_tile_tuning",
+    "validation_numeric",
+    "ablation_cost_sensitive",
+    "ablation_features",
+    "ablation_overlap",
+    "ablation_pinned_pool",
+    "ablation_amalgamation",
+    "ablation_stack_order",
+    "ablation_precision",
+    "extension_device_resident",
+    "extension_cluster",
+    "extension_solve_phase",
+]
+
+
+def build_report(results_dir: str, out_path: str) -> int:
+    """Concatenate results into ``out_path``; returns the section count."""
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            f"{results_dir} not found — run `pytest benchmarks/ "
+            "--benchmark-only` first"
+        )
+    available = {
+        os.path.splitext(f)[0]: os.path.join(results_dir, f)
+        for f in os.listdir(results_dir)
+        if f.endswith(".txt")
+    }
+    ordered = [n for n in _ORDER if n in available]
+    ordered += sorted(set(available) - set(_ORDER))
+    sections = []
+    for name in ordered:
+        with open(available[name]) as fh:
+            body = fh.read().rstrip()
+        sections.append(f"## {name}\n\n```\n{body}\n```\n")
+    header = (
+        "# Reproduction report — Multifrontal Factorization of Sparse SPD "
+        "Matrices on GPUs (IPDPS 2011)\n\n"
+        "Generated from `benchmarks/results/`; see EXPERIMENTS.md for the "
+        "paper-vs-measured commentary and DESIGN.md for the methodology.\n\n"
+    )
+    with open(out_path, "w") as fh:
+        fh.write(header + "\n".join(sections))
+    return len(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.report")
+    parser.add_argument(
+        "--results",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "benchmarks", "results",
+        ),
+    )
+    parser.add_argument("--out", default="REPORT.md")
+    args = parser.parse_args(argv)
+    n = build_report(args.results, args.out)
+    print(f"wrote {args.out} with {n} sections")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

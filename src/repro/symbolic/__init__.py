@@ -1,0 +1,36 @@
+"""Symbolic analysis for supernodal multifrontal Cholesky.
+
+Given a permuted SPD matrix, this subpackage computes everything the
+numeric phase needs before touching a floating-point number:
+
+* the (column) elimination tree and its postorder (:mod:`etree`),
+* the per-column nonzero patterns / column counts of the factor
+  (:mod:`colcounts`),
+* the fundamental supernode partition and relaxed amalgamation
+  (:mod:`supernodes`),
+* the assembled :class:`SymbolicFactor` — per-supernode row structures,
+  the supernodal tree, and flop/byte counts per factor-update call
+  (:mod:`symbolic`).
+"""
+
+from repro.symbolic.etree import EliminationTree, elimination_tree, postorder
+from repro.symbolic.colcounts import column_counts, column_patterns
+from repro.symbolic.supernodes import (
+    AmalgamationParams,
+    amalgamate,
+    fundamental_supernodes,
+)
+from repro.symbolic.symbolic import SymbolicFactor, symbolic_factorize
+
+__all__ = [
+    "EliminationTree",
+    "elimination_tree",
+    "postorder",
+    "column_counts",
+    "column_patterns",
+    "fundamental_supernodes",
+    "amalgamate",
+    "AmalgamationParams",
+    "SymbolicFactor",
+    "symbolic_factorize",
+]

@@ -1,0 +1,189 @@
+"""Fundamental supernode detection and relaxed amalgamation.
+
+A *fundamental supernode* is a maximal run of consecutive columns
+``f..l`` whose factor columns share one nonzero pattern (each column's
+pattern is the previous one minus its own row).  The detection criterion
+(Liu/Ng/Peyton) needs only etree parents and column counts: column ``j``
+extends the supernode of ``j-1`` iff
+
+    parent(j-1) == j  and  cnt(j-1) == cnt(j) + 1
+    and j-1 is the only child of j that reaches it this way
+    (equivalently: j has exactly one etree child among columns of the
+    current run's frontier — we use the standard first-child test).
+
+*Relaxed amalgamation* then merges small child supernodes into their
+parents even when patterns differ slightly, trading a bounded number of
+explicit zeros for larger dense blocks.  This matters doubly here: WSMP
+amalgamates, and the m x k distribution of factor-update calls — the very
+thing the paper's hybrid policies are trained on — depends on it (see the
+ablation bench ``test_ablation_amalgamation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.symbolic.etree import NO_PARENT
+
+__all__ = ["fundamental_supernodes", "AmalgamationParams", "amalgamate"]
+
+
+def fundamental_supernodes(parent: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Partition columns into fundamental supernodes.
+
+    Parameters
+    ----------
+    parent : int64 array
+        Elimination-tree parents (postordered labeling, parents > children).
+    counts : int64 array
+        Column counts of L including the diagonal.
+
+    Returns
+    -------
+    ``super_ptr`` : int64 array of length ``n_super + 1`` — supernode ``s``
+    spans columns ``super_ptr[s] : super_ptr[s+1]``.
+    """
+    n = parent.size
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    n_children = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        p = parent[j]
+        if p != NO_PARENT:
+            n_children[p] += 1
+    starts = [0]
+    for j in range(1, n):
+        extends = (
+            parent[j - 1] == j
+            and counts[j - 1] == counts[j] + 1
+            and n_children[j] == 1
+        )
+        if not extends:
+            starts.append(j)
+    starts.append(n)
+    return np.asarray(starts, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class AmalgamationParams:
+    """Controls relaxed supernode amalgamation.
+
+    Attributes
+    ----------
+    max_zeros_fraction : float
+        A child may merge into its parent only if explicit zeros would make
+        up at most this fraction of the merged supernode's stored triangle.
+    max_width : int
+        Upper bound on the merged supernode's column count; 0 disables
+        amalgamation entirely.
+    small_child : int
+        Children at most this wide are always considered for merging
+        (typical multifrontal codes aggressively fold tiny supernodes).
+    """
+
+    max_zeros_fraction: float = 0.15
+    max_width: int = 256
+    small_child: int = 16
+
+
+def _supernode_parent(super_of: np.ndarray, super_ptr: np.ndarray,
+                      parent: np.ndarray) -> np.ndarray:
+    """Supernodal tree: parent supernode of ``s`` is the supernode holding
+    the etree parent of the last column of ``s``."""
+    n_super = super_ptr.size - 1
+    sparent = np.full(n_super, NO_PARENT, dtype=np.int64)
+    for s in range(n_super):
+        last = super_ptr[s + 1] - 1
+        p = parent[last]
+        if p != NO_PARENT:
+            sparent[s] = super_of[p]
+    return sparent
+
+
+def amalgamate(
+    super_ptr: np.ndarray,
+    parent: np.ndarray,
+    counts: np.ndarray,
+    params: AmalgamationParams = AmalgamationParams(),
+) -> np.ndarray:
+    """Relaxed amalgamation of a fundamental-supernode partition.
+
+    Greedy bottom-up pass: a supernode is merged into its parent when the
+    parent directly follows it in column order (so the merged node stays a
+    contiguous column range) and the explicit-zero budget holds.  Returns a
+    new ``super_ptr``.
+    """
+    n = parent.size
+    if params.max_width <= 0:
+        return super_ptr
+    n_super = super_ptr.size - 1
+    super_of = np.empty(n, dtype=np.int64)
+    for s in range(n_super):
+        super_of[super_ptr[s]:super_ptr[s + 1]] = s
+    sparent = _supernode_parent(super_of, super_ptr, parent)
+
+    # union-find over supernodes that were merged into their successor
+    merged_into = np.arange(n_super, dtype=np.int64)
+
+    def find(s: int) -> int:
+        while merged_into[s] != s:
+            merged_into[s] = merged_into[merged_into[s]]
+            s = merged_into[s]
+        return s
+
+    # current (start, width, count-of-first-column) per representative
+    start = super_ptr[:-1].astype(np.int64).copy()
+    width = np.diff(super_ptr).astype(np.int64)
+    # count of the first column of each supernode = rows in its front
+    first_count = counts[super_ptr[:-1]].copy()
+
+    for s in range(n_super - 1):
+        rep = find(s)
+        p = sparent[s]
+        if p == NO_PARENT:
+            continue
+        prep = find(int(p))
+        if prep == rep:
+            continue
+        # contiguity: parent must start right after this supernode ends
+        if start[prep] != start[rep] + width[rep]:
+            continue
+        w_child, w_parent = int(width[rep]), int(width[prep])
+        w_new = w_child + w_parent
+        if w_new > params.max_width and w_child > params.small_child:
+            continue
+        # zero cost: merged front keeps the child's row span; the parent's
+        # columns gain rows the child had but they lack.
+        rows_child = int(first_count[rep])          # rows in child front
+        rows_parent = int(first_count[prep])
+        # stored triangle sizes (column j of a supernode of R rows and W
+        # cols stores R - j entries): total = sum_{j<W} (R - j)
+        def tri(rows: int, w: int) -> int:
+            return rows * w - w * (w - 1) // 2
+
+        merged_rows = max(rows_child, rows_parent + w_child)
+        stored = tri(merged_rows, w_new)
+        useful = tri(rows_child, w_child) + tri(rows_parent, w_parent)
+        zeros = stored - useful
+        if w_child > params.small_child and zeros > params.max_zeros_fraction * stored:
+            continue
+        if zeros > 4 * params.max_zeros_fraction * stored:
+            # even tiny children shouldn't blow the budget completely
+            continue
+        # merge child rep into parent rep
+        merged_into[rep] = prep
+        start[prep] = start[rep]
+        width[prep] = w_new
+        first_count[prep] = merged_rows
+        sparent[s] = NO_PARENT  # consumed
+
+    reps = sorted({find(s) for s in range(n_super)}, key=lambda s: int(start[s]))
+    new_ptr = np.empty(len(reps) + 1, dtype=np.int64)
+    for i, s in enumerate(reps):
+        new_ptr[i] = start[s]
+    new_ptr[-1] = n
+    if not np.all(np.diff(new_ptr) > 0):
+        raise AssertionError("amalgamation produced a non-contiguous partition")
+    return new_ptr

@@ -1,0 +1,272 @@
+"""Full symbolic factorization: the :class:`SymbolicFactor` object.
+
+``symbolic_factorize`` runs the complete analysis pipeline:
+
+1. fill-reducing ordering (delegated to :mod:`repro.ordering`),
+2. elimination tree of the permuted matrix + postordering (the overall
+   permutation is composed so columns of a supernode are consecutive),
+3. per-column factor patterns and counts,
+4. fundamental supernode detection + relaxed amalgamation,
+5. per-supernode row structure, the supernodal tree, and the (m, k) and
+   flop statistics of every factor-update call — the quantities the
+   paper's Figures 2/5/6 are drawn from and the features the auto-tuner
+   consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+from repro.ordering import compute_ordering
+from repro.symbolic.colcounts import column_patterns
+from repro.symbolic.etree import NO_PARENT, EliminationTree, elimination_tree
+from repro.symbolic.supernodes import (
+    AmalgamationParams,
+    amalgamate,
+    fundamental_supernodes,
+)
+
+__all__ = ["SymbolicFactor", "symbolic_factorize"]
+
+
+def factor_update_flops(m: int, k: int) -> tuple[float, float, float]:
+    """Asymptotic operation counts of one factor-update call, following
+    the paper's Section IV-B: ``N_P = k^3/3`` (potrf), ``N_T = m k^2``
+    (trsm), ``N_S = m^2 k`` (syrk)."""
+    return (k**3 / 3.0, float(m) * k * k, float(m) * m * k)
+
+
+@dataclass
+class SymbolicFactor:
+    """Everything the numeric phase needs, plus analysis metadata.
+
+    Attributes
+    ----------
+    n : int
+        Matrix order.
+    perm : int64 array
+        Overall new-to-old permutation (ordering composed with etree
+        postorder); the numeric phase factors ``P A P^T``.
+    super_ptr : int64 array, length n_super + 1
+        Supernode ``s`` owns (permuted) columns ``super_ptr[s]:super_ptr[s+1]``.
+    rows : list of int64 arrays
+        ``rows[s]`` — sorted global row indices of supernode ``s``'s front,
+        *including* its own ``k`` columns first; length ``k + m``.
+    sparent : int64 array
+        Supernodal elimination tree (-1 for roots).
+    spost : int64 array
+        Postorder of the supernodal tree (valid numeric schedule).
+    etree : EliminationTree
+        Column elimination tree of the permuted matrix.
+    nnz_factor : int
+        Stored entries of L (supernodal lower triangles, fill included).
+    """
+
+    n: int
+    perm: np.ndarray
+    super_ptr: np.ndarray
+    rows: list[np.ndarray]
+    sparent: np.ndarray
+    spost: np.ndarray
+    etree: EliminationTree
+    nnz_factor: int
+    ordering: str = "nd"
+    amalgamation: AmalgamationParams = field(default_factory=AmalgamationParams)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_supernodes(self) -> int:
+        return int(self.super_ptr.size - 1)
+
+    def width(self, s: int) -> int:
+        """k — number of pivot columns of supernode ``s``."""
+        return int(self.super_ptr[s + 1] - self.super_ptr[s])
+
+    def update_size(self, s: int) -> int:
+        """m — rows below the pivot block (size of the update matrix)."""
+        return int(self.rows[s].size - self.width(s))
+
+    def mk_pairs(self) -> np.ndarray:
+        """(n_super, 2) array of the (m, k) dimensions of every F-U call."""
+        out = np.empty((self.n_supernodes, 2), dtype=np.int64)
+        for s in range(self.n_supernodes):
+            k = self.width(s)
+            out[s, 0] = self.rows[s].size - k
+            out[s, 1] = k
+        return out
+
+    def schildren(self) -> list[list[int]]:
+        kids: list[list[int]] = [[] for _ in range(self.n_supernodes)]
+        for s in range(self.n_supernodes):
+            p = self.sparent[s]
+            if p != NO_PARENT:
+                kids[p].append(s)
+        return kids
+
+    def total_flops(self) -> float:
+        """Total factor-update flops (the paper's 'number of operations')."""
+        total = 0.0
+        for m, k in self.mk_pairs():
+            total += sum(factor_update_flops(int(m), int(k)))
+        return total
+
+    def factor_nnz_by_column(self) -> np.ndarray:
+        """Stored entries of L per column (supernodal storage, fill incl.)."""
+        out = np.zeros(self.n, dtype=np.int64)
+        for s in range(self.n_supernodes):
+            f = int(self.super_ptr[s])
+            k = self.width(s)
+            rows = self.rows[s].size
+            for j in range(k):
+                out[f + j] = rows - j
+        return out
+
+    def validate(self) -> None:
+        """Structural invariants; raises AssertionError on violation."""
+        assert self.super_ptr[0] == 0 and self.super_ptr[-1] == self.n
+        assert np.all(np.diff(self.super_ptr) > 0)
+        for s in range(self.n_supernodes):
+            f, l = int(self.super_ptr[s]), int(self.super_ptr[s + 1])
+            rows = self.rows[s]
+            k = l - f
+            assert rows.size >= k
+            assert np.array_equal(rows[:k], np.arange(f, l)), (
+                f"supernode {s}: leading rows must equal its own columns"
+            )
+            assert np.all(np.diff(rows) > 0), f"supernode {s}: rows unsorted"
+            if rows.size > k:
+                assert rows[k] >= l
+            # extend-add closure: update rows must exist in the parent front
+            p = int(self.sparent[s])
+            if p != NO_PARENT:
+                missing = np.setdiff1d(rows[k:], self.rows[p], assume_unique=True)
+                assert missing.size == 0, (
+                    f"supernode {s}: update rows {missing[:5]} not in parent front"
+                )
+            else:
+                assert rows.size == k, "root supernode must have empty update"
+
+
+def symbolic_factorize(
+    a: CSCMatrix,
+    *,
+    ordering: str = "nd",
+    amalgamation: AmalgamationParams | None = None,
+    perm: np.ndarray | None = None,
+) -> SymbolicFactor:
+    """Run the full symbolic analysis of SPD matrix ``a``.
+
+    Parameters
+    ----------
+    a : CSCMatrix
+        Full symmetric or lower-triangle-stored SPD matrix.
+    ordering : str
+        Fill-reducing ordering name (see :mod:`repro.ordering`); ignored
+        when ``perm`` is given.
+    amalgamation : AmalgamationParams, optional
+        Relaxation parameters; default merges aggressively enough to match
+        typical multifrontal codes.  ``AmalgamationParams(max_width=0)``
+        disables amalgamation.
+    perm : array, optional
+        Externally supplied new-to-old permutation (it will still be
+        composed with an etree postorder).
+    """
+    if a.n_rows != a.n_cols:
+        raise ValueError("matrix must be square")
+    params = amalgamation if amalgamation is not None else AmalgamationParams()
+
+    base_perm = perm if perm is not None else compute_ordering(a, ordering)
+    base_perm = np.asarray(base_perm, dtype=np.int64)
+    permuted = a.permute_symmetric(base_perm)
+
+    # postorder the etree and fold the postorder into the permutation so
+    # that supernodes come out as contiguous column ranges
+    tree0 = elimination_tree(permuted)
+    full_perm = base_perm[tree0.post]
+    permuted = a.permute_symmetric(full_perm)
+    tree = elimination_tree(permuted)
+
+    patterns = column_patterns(permuted, tree.parent)
+    counts = np.array([p.size + 1 for p in patterns], dtype=np.int64)
+
+    super_ptr = fundamental_supernodes(tree.parent, counts)
+    super_ptr = amalgamate(super_ptr, tree.parent, counts, params)
+    n_super = super_ptr.size - 1
+
+    # per-supernode row structure: own columns then the union of member
+    # column patterns restricted to rows past the supernode
+    rows: list[np.ndarray] = []
+    nnz_factor = 0
+    for s in range(n_super):
+        f, l = int(super_ptr[s]), int(super_ptr[s + 1])
+        own = np.arange(f, l, dtype=np.int64)
+        below_parts = [patterns[j] for j in range(f, l)]
+        below = (
+            np.unique(np.concatenate(below_parts)) if below_parts else
+            np.empty(0, dtype=np.int64)
+        )
+        below = below[below >= l]
+        front_rows = np.concatenate([own, below])
+        rows.append(front_rows)
+        k = l - f
+        nnz_factor += int(front_rows.size * k - k * (k - 1) // 2)
+
+    # supernodal tree
+    super_of = np.empty(a.n_rows, dtype=np.int64)
+    for s in range(n_super):
+        super_of[super_ptr[s]:super_ptr[s + 1]] = s
+    sparent = np.full(n_super, NO_PARENT, dtype=np.int64)
+    for s in range(n_super):
+        last = int(super_ptr[s + 1]) - 1
+        p = tree.parent[last]
+        if p != NO_PARENT:
+            sparent[s] = super_of[p]
+    # supernode ids increase with column number, so ascending id order is
+    # already a valid postorder-compatible schedule; keep an explicit
+    # postorder for schedulers that want subtree locality
+    spost = _postorder_supernodes(sparent)
+
+    sf = SymbolicFactor(
+        n=a.n_rows,
+        perm=full_perm,
+        super_ptr=super_ptr,
+        rows=rows,
+        sparent=sparent,
+        spost=spost,
+        etree=tree,
+        nnz_factor=nnz_factor,
+        ordering=ordering if perm is None else "custom",
+        amalgamation=params,
+    )
+    return sf
+
+
+def _postorder_supernodes(sparent: np.ndarray) -> np.ndarray:
+    n_super = sparent.size
+    kids: list[list[int]] = [[] for _ in range(n_super)]
+    roots = []
+    for s in range(n_super):
+        p = sparent[s]
+        if p == NO_PARENT:
+            roots.append(s)
+        else:
+            kids[p].append(s)
+    post = np.empty(n_super, dtype=np.int64)
+    t = 0
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                post[t] = node
+                t += 1
+            else:
+                stack.append((node, True))
+                for c in reversed(kids[node]):
+                    stack.append((c, False))
+    if t != n_super:
+        raise AssertionError("supernodal tree is not a forest")
+    return post

@@ -1,0 +1,35 @@
+"""Paper-scale synthetic workload generation.
+
+The paper's evaluation matrices have 0.66M-1.5M rows with root frontal
+matrices of k ~= 5000-10600 columns (Table V).  Computing a real
+symbolic factorization at that size needs more memory and time than the
+reproduction environment offers, so — per the substitution rule in
+DESIGN.md — this subpackage generates the *factor-update call tree* of
+such problems geometrically: recursive coordinate bisection of an
+L x L x L grid with plane separators, the textbook model of nested
+dissection on regular 3-D meshes (George 1973).  The result is a
+fabricated :class:`~repro.symbolic.symbolic.SymbolicFactor` whose
+supernode (m, k) dimensions, tree shape and call counts match what a
+real ND analysis of the grid would produce, usable by every scheduler
+and timing path (but carrying no numeric values).
+
+The benchmark harness runs the headline experiments twice: at the
+*numeric* scale (the real, ~20x-down suite of ``repro.matrices.testsuite``,
+with actual floating-point factorization) and at the *paper* scale
+(these synthetic workloads, timing replay only), and EXPERIMENTS.md
+reports both.
+"""
+
+from repro.workload.geometric import (
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    geometric_nd_workload,
+    paper_workload,
+)
+
+__all__ = [
+    "geometric_nd_workload",
+    "paper_workload",
+    "WorkloadSpec",
+    "PAPER_WORKLOADS",
+]

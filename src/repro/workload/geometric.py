@@ -1,0 +1,209 @@
+"""Geometric nested-dissection workload generator.
+
+Models the supernodal call tree that nested dissection produces on a
+regular ``nx x ny x nz`` grid with ``dof`` unknowns per cell: recursive
+bisection along the longest axis with plane separators.  Each separator
+becomes one supernode with
+
+    k = dof * (separator plane cells)
+    m = dof * (boundary cells of the enclosing box — the cells of
+               previously-cut planes on its faces)
+
+and each leaf box becomes one supernode covering its remaining cells.
+This is George's classical model of ND on regular meshes; it reproduces
+the two properties the paper's analysis rests on: a long tail of small
+factor-update calls (97% of calls small) and a handful of huge root
+separators carrying most of the flops.
+
+**Calibration against the paper.**  Table II gives each matrix's order N
+and Table V gives its *root supernode size* (the k of the final m = 0
+potrf).  An elongated box matches both simultaneously — e.g. kyushu
+(N = 990,692, root k = 10,592) is modeled as a scalar 103 x 103 x 93
+grid (N = 986,541, root k = 10,609); audikw_1 (N = 943,695, 3 dof,
+root k = 5,418) as a 42 x 42 x 178 x 3-dof grid (N = 941,192 (cells x 3),
+root k = 5,292).  The elongation reflects the shell-like geometry of
+real automotive/structural models, whose graph separators are far
+smaller than a cube of equal volume would suggest.
+
+The output is a fabricated :class:`SymbolicFactor`: column ranges,
+supernodal tree, a *consistent* column elimination tree, and row index
+arrays of the right sizes.  It prices and schedules exactly like a real
+symbolic factor; it cannot be used for numeric factorization (there is
+no matrix), which is flagged by ``ordering == "synthetic-geometric"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.symbolic.etree import NO_PARENT, EliminationTree, postorder
+from repro.symbolic.symbolic import SymbolicFactor
+
+__all__ = ["geometric_nd_workload", "WorkloadSpec", "PAPER_WORKLOADS", "paper_workload"]
+
+
+@dataclass(frozen=True)
+class _Super:
+    k_cells: int
+    m_cells: int
+    children: tuple[int, ...]
+
+
+def _bisect(
+    dims: tuple[int, int, int],
+    cut_faces: tuple[bool, bool, bool, bool, bool, bool],
+    supers: list[_Super],
+    leaf_cells: int,
+) -> int:
+    """Recurse on a box; append supernodes in postorder; return the index
+    of the box's root supernode.
+
+    ``cut_faces`` flags (x-, x+, y-, y+, z-, z+) mark faces created by
+    earlier cuts (as opposed to the domain boundary, which contributes
+    no update rows).
+    """
+    w, h, d = dims
+    cells = w * h * d
+    face_areas = (h * d, h * d, w * d, w * d, w * h, w * h)
+    boundary = sum(a for a, cut in zip(face_areas, cut_faces) if cut)
+    if cells <= leaf_cells or max(dims) <= 1:
+        # leaf: unsplittable or small enough (note: *max* — a flat
+        # 2-D box with one unit axis must still be dissected)
+        supers.append(_Super(cells, boundary, ()))
+        return len(supers) - 1
+    axis = int(np.argmax(dims))
+    n_axis = dims[axis]
+    left_n = (n_axis - 1) // 2
+    right_n = n_axis - 1 - left_n
+    sep_area = cells // n_axis  # the plane orthogonal to `axis`
+
+    def sub(n_new: int, side: int) -> int:
+        new_dims = list(dims)
+        new_dims[axis] = n_new
+        new_cuts = list(cut_faces)
+        # the face toward the new separator is now a cut face
+        new_cuts[2 * axis + (1 - side)] = True
+        return _bisect(tuple(new_dims), tuple(new_cuts), supers, leaf_cells)
+
+    kids = []
+    if left_n > 0:
+        kids.append(sub(left_n, 0))
+    if right_n > 0:
+        kids.append(sub(right_n, 1))
+    supers.append(_Super(sep_area, boundary, tuple(kids)))
+    return len(supers) - 1
+
+
+def geometric_nd_workload(
+    nx: int,
+    ny: int,
+    nz: int,
+    *,
+    dof: int = 1,
+    leaf_cells: int = 64,
+) -> SymbolicFactor:
+    """Generate the synthetic supernodal structure of ND on a grid.
+
+    Returns a :class:`SymbolicFactor` suitable for timing replay and
+    scheduling (``ordering == "synthetic-geometric"``; numeric use is
+    unsupported).
+    """
+    if min(nx, ny, nz) < 1 or dof < 1:
+        raise ValueError("grid dims and dof must be positive")
+    supers: list[_Super] = []
+    _bisect((nx, ny, nz), (False,) * 6, supers, leaf_cells)
+    n_super = len(supers)
+
+    # recursion appended in postorder; assign columns in that order
+    widths = np.array([s.k_cells * dof for s in supers], dtype=np.int64)
+    super_ptr = np.zeros(n_super + 1, dtype=np.int64)
+    np.cumsum(widths, out=super_ptr[1:])
+    n = int(super_ptr[-1])
+
+    sparent = np.full(n_super, NO_PARENT, dtype=np.int64)
+    for s, rec in enumerate(supers):
+        for c in rec.children:
+            sparent[c] = s
+
+    rows: list[np.ndarray] = []
+    nnz_factor = 0
+    for s, rec in enumerate(supers):
+        f, l = int(super_ptr[s]), int(super_ptr[s + 1])
+        k = l - f
+        m = rec.m_cells * dof
+        rows.append(np.arange(f, f + k + m, dtype=np.int64))
+        nnz_factor += (k + m) * k - k * (k - 1) // 2
+
+    # a consistent column etree: chains inside supernodes, last column of
+    # a supernode points at the first column of its parent supernode
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for s in range(n_super):
+        f, l = int(super_ptr[s]), int(super_ptr[s + 1])
+        parent[f:l - 1] = np.arange(f + 1, l)
+        p = sparent[s]
+        if p != NO_PARENT:
+            parent[l - 1] = super_ptr[p]
+    post, first_child, next_sibling = postorder(parent)
+    etree = EliminationTree(parent, post, first_child, next_sibling)
+
+    return SymbolicFactor(
+        n=n,
+        perm=np.arange(n, dtype=np.int64),
+        super_ptr=super_ptr,
+        rows=rows,
+        sparent=sparent,
+        spost=np.arange(n_super, dtype=np.int64),
+        etree=etree,
+        nnz_factor=int(nnz_factor),
+        ordering="synthetic-geometric",
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A paper-scale workload: grid geometry calibrated to Table II's N
+    and Table V's root supernode size."""
+
+    name: str
+    paper_name: str
+    nx: int
+    ny: int
+    nz: int
+    dof: int
+    paper_n: int
+    paper_root_k: int      # Table V's k at the m = 0 root call
+
+    @property
+    def n(self) -> int:
+        return self.nx * self.ny * self.nz * self.dof
+
+    @property
+    def root_k(self) -> int:
+        dims = sorted((self.nx, self.ny, self.nz))
+        return dims[0] * dims[1] * self.dof
+
+    def build(self, *, leaf_cells: int = 64) -> SymbolicFactor:
+        return geometric_nd_workload(
+            self.nx, self.ny, self.nz, dof=self.dof, leaf_cells=leaf_cells
+        )
+
+
+#: The five Table II matrices at full scale (see module docstring).
+PAPER_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("audikw_1", "audikw_1", 42, 42, 178, 3, 943695, 5418),
+    WorkloadSpec("kyushu", "kyushu", 103, 103, 93, 1, 990692, 10592),
+    WorkloadSpec("lmco", "lmco", 42, 42, 126, 3, 665017, 5353),
+    WorkloadSpec("nastran-b", "nastran-b", 44, 44, 260, 3, 1508088, 5682),
+    WorkloadSpec("sgi_1M", "sgi_1M", 84, 84, 216, 1, 1522431, 7014),
+)
+
+
+def paper_workload(name: str, *, leaf_cells: int = 64) -> SymbolicFactor:
+    """Build the paper-scale synthetic workload for a Table II matrix."""
+    for spec in PAPER_WORKLOADS:
+        if spec.name == name or spec.paper_name == name:
+            return spec.build(leaf_cells=leaf_cells)
+    known = ", ".join(s.name for s in PAPER_WORKLOADS)
+    raise KeyError(f"unknown workload {name!r}; known: {known}")

@@ -1,0 +1,51 @@
+"""Shared fixtures: small problems, the calibrated model, cached symbolic
+factorizations (symbolic analysis is the slowest reusable step)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.perfmodel import tesla_t10_model
+from repro.matrices import elasticity_3d, grid_laplacian_2d, grid_laplacian_3d, random_spd
+from repro.symbolic import symbolic_factorize
+
+
+@pytest.fixture(scope="session")
+def model():
+    return tesla_t10_model()
+
+
+@pytest.fixture(scope="session")
+def lap2d_small():
+    return grid_laplacian_2d(10, 10)
+
+
+@pytest.fixture(scope="session")
+def lap3d_small():
+    return grid_laplacian_3d(7, 7, 7)
+
+
+@pytest.fixture(scope="session")
+def elast_small():
+    return elasticity_3d(4, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def rand_spd_small():
+    return random_spd(120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def sf_lap3d(lap3d_small):
+    return symbolic_factorize(lap3d_small, ordering="nd")
+
+
+@pytest.fixture(scope="session")
+def sf_elast(elast_small):
+    return symbolic_factorize(elast_small, ordering="amd")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

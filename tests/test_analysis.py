@@ -1,0 +1,133 @@
+"""Analysis layer: binning, record aggregation, rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GridBinner,
+    ascii_heatmap,
+    ascii_policy_map,
+    component_fractions,
+    component_times,
+    format_table,
+    rate_series,
+    time_fraction_grid,
+)
+from repro.multifrontal.numeric import FURecord
+
+
+def make_record(m, k, policy="P1", components=None, start=0.0, end=1.0):
+    from repro.symbolic.symbolic import factor_update_flops
+
+    return FURecord(
+        sid=0, m=m, k=k, policy=policy, start=start, end=end,
+        components=components or {"potrf": 0.1, "trsm": 0.2, "syrk": 0.3},
+        flops=factor_update_flops(m, k),
+    )
+
+
+class TestGridBinner:
+    def test_bin_index_clamps(self):
+        b = GridBinner(bin_size=10, extent=100)
+        bm, bk = b.bin_index([5, 95, 500], [0, 99, 1000])
+        assert list(bm) == [0, 9, 9]
+        assert list(bk) == [0, 9, 9]
+
+    def test_accumulate_layout_k_rows(self):
+        b = GridBinner(bin_size=10, extent=30)
+        grid = b.accumulate([25], [5], [2.0])   # m-bin 2, k-bin 0
+        assert grid[0, 2] == 2.0
+        assert grid.sum() == 2.0
+
+    def test_fraction_normalizes(self):
+        b = GridBinner(bin_size=10, extent=20)
+        grid = b.fraction([1, 11], [1, 11], [1.0, 3.0])
+        assert grid.sum() == pytest.approx(1.0)
+        assert grid[1, 1] == pytest.approx(0.75)
+
+    def test_fraction_empty(self):
+        b = GridBinner(bin_size=10, extent=20)
+        grid = b.fraction([], [], [])
+        assert grid.sum() == 0.0
+
+    def test_majority_label(self):
+        b = GridBinner(bin_size=10, extent=20)
+        lab = b.majority_label([1, 2, 15], [1, 1, 15], ["P1", "P1", "P3"])
+        assert lab[0, 0] == "P1"
+        assert lab[1, 1] == "P3"
+        assert lab[0, 1] == ""
+
+    def test_mean_with_empty_bins(self):
+        b = GridBinner(bin_size=10, extent=20)
+        g = b.mean([1, 1], [1, 1], [2.0, 4.0])
+        assert g[0, 0] == pytest.approx(3.0)
+        assert np.isnan(g[1, 1])
+
+
+class TestInstrument:
+    def test_time_fraction_grid_sums_to_one(self):
+        records = [make_record(10, 5), make_record(500, 100)]
+        grid = time_fraction_grid(records, GridBinner(bin_size=100, extent=1000))
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_copy_excluded_variant(self):
+        records = [
+            make_record(10, 5, components={"syrk": 1.0, "copy": 9.0}),
+            make_record(900, 900, components={"syrk": 1.0}),
+        ]
+        binner = GridBinner(bin_size=500, extent=1000)
+        with_copy = time_fraction_grid(records, binner, include_copy=True)
+        without = time_fraction_grid(records, binner, include_copy=False)
+        # the small call dominates only when copies are counted (Fig. 2b vs 2c)
+        assert with_copy[0, 0] > 0.5
+        assert without[0, 0] == pytest.approx(0.5)
+
+    def test_component_times_keys(self):
+        out = component_times([make_record(10, 5)])
+        assert set(out) == {"ops", "potrf", "trsm", "syrk", "copy"}
+        assert out["ops"][0] > 0
+
+    def test_component_fractions_sum_to_one(self):
+        out = component_fractions([make_record(10, 5)])
+        total = out["potrf"][0] + out["trsm"][0] + out["syrk"][0] + out["copy"][0]
+        assert total == pytest.approx(1.0)
+
+    def test_rate_series_monotone_input(self):
+        ops = np.logspace(3, 9, 50)
+        secs = 1e-5 + ops / 1e10   # latency + throughput
+        centers, rates = rate_series(ops, secs, n_points=10)
+        assert (np.diff(rates) > 0).all()   # saturating curve rises
+        assert rates[-1] < 1e10
+
+    def test_rate_series_empty(self):
+        c, r = rate_series(np.array([]), np.array([]))
+        assert c.size == r.size == 0
+
+
+class TestRendering:
+    def test_heatmap_contains_range(self):
+        txt = ascii_heatmap(np.array([[0.0, 1.0]]), title="T")
+        assert "T" in txt and "range" in txt
+
+    def test_heatmap_handles_nan(self):
+        txt = ascii_heatmap(np.array([[np.nan, 1.0]]))
+        assert txt  # no crash; NaN renders blank
+
+    def test_policy_map_legend(self):
+        grid = np.array([["P1", "P3"], ["", "P4"]], dtype=object)
+        txt = ascii_policy_map(grid, title="map")
+        assert "legend: P1, P3, P4" in txt
+        assert "1" in txt and "3" in txt and "4" in txt
+
+    def test_format_table_alignment(self):
+        txt = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22.25]], title="t",
+            float_fmt="{:.2f}",
+        )
+        lines = txt.splitlines()
+        assert lines[0] == "t"
+        assert "1.50" in txt and "22.25" in txt
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])

@@ -1,0 +1,117 @@
+"""Tree profiles and the new generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_profile, profile_tree
+from repro.matrices import (
+    anisotropic_laplacian_3d,
+    grid_laplacian_3d,
+    shell_elasticity,
+)
+from repro.symbolic import symbolic_factorize
+from repro.workload import geometric_nd_workload
+
+
+class TestNewGenerators:
+    def test_anisotropic_spd(self):
+        a = anisotropic_laplacian_3d(4, 4, 4, weights=(1.0, 0.5, 0.01))
+        d = a.to_dense()
+        assert np.allclose(d, d.T)
+        assert np.linalg.eigvalsh(d).min() > 0
+
+    def test_anisotropic_same_pattern_as_isotropic(self):
+        a = anisotropic_laplacian_3d(3, 4, 5)
+        b = grid_laplacian_3d(3, 4, 5)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_isotropic_weights_recover_laplacian(self):
+        a = anisotropic_laplacian_3d(3, 3, 3, weights=(1.0, 1.0, 1.0))
+        b = grid_laplacian_3d(3, 3, 3)
+        assert a.allclose(b)
+
+    def test_weights_change_the_numerics(self):
+        a = anisotropic_laplacian_3d(3, 3, 3, weights=(1.0, 1.0, 0.01))
+        b = grid_laplacian_3d(3, 3, 3)
+        assert not a.allclose(b)
+        # z-neighbor coupling is the weak one
+        d = a.to_dense()
+        assert abs(d[0, 1]) == pytest.approx(0.01)   # z neighbor (stride 1)
+        assert abs(d[0, 3]) == pytest.approx(1.0)    # y neighbor
+
+    def test_anisotropic_validation(self):
+        with pytest.raises(ValueError):
+            anisotropic_laplacian_3d(2, 2, 2, weights=(1.0, 0.0, 1.0))
+
+    def test_shell_is_thin_3d(self):
+        a = shell_elasticity(6, 6, thickness=2)
+        assert a.n_rows == 6 * 6 * 2 * 3
+        d = a.to_dense()
+        assert np.linalg.eigvalsh(d).min() > 0
+
+    def test_shell_separators_smaller_than_cube(self):
+        # equal unknowns, thin vs cubic: the shell's largest front is
+        # smaller (the premise of the workload calibration)
+        shell = symbolic_factorize(shell_elasticity(12, 12, thickness=2, dof=1),
+                                   ordering="nd")
+        cube_n = round((12 * 12 * 2) ** (1 / 3))
+        cube = symbolic_factorize(grid_laplacian_3d(cube_n + 1, cube_n, cube_n),
+                                  ordering="nd")
+        assert shell.mk_pairs()[:, 1].max() <= cube.mk_pairs()[:, 1].max() * 1.5
+
+    def test_shell_validation(self):
+        with pytest.raises(ValueError):
+            shell_elasticity(4, 4, thickness=0)
+
+
+class TestTreeProfile:
+    @pytest.fixture(scope="class")
+    def prof(self):
+        return profile_tree(geometric_nd_workload(16, 16, 16, leaf_cells=8))
+
+    def test_counts(self, prof):
+        assert prof.n == 16**3
+        assert prof.n_supernodes == prof.calls_by_depth.sum()
+
+    def test_flops_partition(self, prof):
+        assert prof.flops_by_depth.sum() == pytest.approx(prof.total_flops)
+
+    def test_root_is_single_call(self, prof):
+        assert prof.calls_by_depth[0] == 1
+
+    def test_top10_dominance_on_3d(self, prof):
+        # the paper's concentration property
+        assert prof.flops_in_top10_calls > 0.3
+
+    def test_small_call_fraction(self, prof):
+        assert 0.9 < prof.small_call_fraction <= 1.0
+
+    def test_real_matrix_profile(self, lap3d_small):
+        sf = symbolic_factorize(lap3d_small, ordering="nd")
+        p = profile_tree(sf)
+        assert p.max_front >= p.widths.max()
+        assert p.depth >= 1
+
+    def test_format_contains_key_lines(self, prof):
+        text = format_profile(prof)
+        assert "small calls" in text
+        assert "depth  0" in text
+        assert "#" in text
+
+
+class TestCliProfile:
+    def test_profile_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "lmco", "--workload"]) == 0
+        out = capsys.readouterr().out
+        assert "tree profile" in out
+        assert "flops by tree depth" in out
+
+    def test_profile_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "m.mtx"
+        main(["generate", "lap3d", "5", "5", "5", "--out", str(path)])
+        assert main(["profile", str(path), "--ordering", "amd"]) == 0

@@ -1,0 +1,300 @@
+"""Auto-tuning: features, objectives, optimizer, training quality."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    FeatureMap,
+    FeatureScaler,
+    PolicyClassifier,
+    TimingDataset,
+    collect_timing_dataset,
+    cross_entropy_loss,
+    expected_time_loss,
+    minimize_gd,
+    sample_mk_cloud,
+    softmax,
+    train_cost_sensitive,
+    train_cross_entropy,
+    train_default_classifier,
+)
+
+
+class TestFeatures:
+    def test_paper_feature_values(self):
+        fm = FeatureMap()
+        x = fm([6], [3])[0]
+        # [m, k, m/k, m^2, mk, k^2, k^3, mk^2, bias]
+        assert np.allclose(x, [6, 3, 2.0, 36, 18, 9, 27, 54, 1.0])
+
+    def test_k_zero_guard(self):
+        fm = FeatureMap()
+        x = fm([5], [0])[0]
+        assert np.isfinite(x).all()
+
+    def test_vectorized(self):
+        fm = FeatureMap()
+        x = fm([1, 2, 3], [4, 5, 6])
+        assert x.shape == (3, fm.dim)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FeatureMap()([1, 2], [3])
+
+    def test_unknown_feature(self):
+        with pytest.raises(ValueError):
+            FeatureMap(names=("m", "banana"))([1], [1])
+
+    def test_ops_feature(self):
+        fm = FeatureMap(names=("ops",))
+        x = fm([6], [3])[0]
+        assert x[0] == pytest.approx(27 / 3 + 6 * 9 + 36 * 3)
+
+    def test_scaler_standardizes(self, rng):
+        x = rng.normal(size=(100, 4)) * np.array([1, 10, 100, 1]) + 5
+        x[:, 3] = 1.0  # constant bias column
+        sc = FeatureScaler().fit(x)
+        z = sc.transform(x)
+        assert np.allclose(z[:, :3].mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(z[:, :3].std(axis=0), 1, atol=1e-10)
+        assert np.allclose(z[:, 3], 1.0)  # untouched
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(np.ones((2, 2)))
+
+
+class TestObjectives:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(5, 3)) * 50)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_softmax_overflow_safe(self):
+        p = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+
+    def test_expected_time_at_uniform(self):
+        # theta = 0: uniform probabilities -> mean of each row
+        x = np.ones((2, 1))
+        t = np.array([[1.0, 3.0], [2.0, 4.0]])
+        loss, _ = expected_time_loss(np.zeros((1, 2)), x, t)
+        assert loss == pytest.approx(2.0 + 3.0)
+
+    @pytest.mark.parametrize("loss_fn", [expected_time_loss, cross_entropy_loss])
+    def test_gradients_match_finite_differences(self, loss_fn, rng):
+        n, d, r = 12, 4, 3
+        x = rng.normal(size=(n, d))
+        if loss_fn is expected_time_loss:
+            target = rng.uniform(0.1, 2.0, size=(n, r))
+        else:
+            target = rng.integers(0, r, size=n)
+        theta = rng.normal(size=(d, r)) * 0.3
+        loss, grad = loss_fn(theta, x, target, ridge=0.01)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (3, 1)]:
+            tp = theta.copy()
+            tp[idx] += eps
+            lp, _ = loss_fn(tp, x, target, ridge=0.01)
+            tm = theta.copy()
+            tm[idx] -= eps
+            lm, _ = loss_fn(tm, x, target, ridge=0.01)
+            fd = (lp - lm) / (2 * eps)
+            assert grad[idx] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_expected_time_lower_bounded_by_oracle(self, rng):
+        n, d, r = 30, 3, 4
+        x = rng.normal(size=(n, d))
+        t = rng.uniform(0.1, 2.0, size=(n, r))
+        theta = rng.normal(size=(d, r))
+        loss, _ = expected_time_loss(theta, x, t)
+        assert loss >= t.min(axis=1).sum() - 1e-9
+
+
+class TestOptimizer:
+    def test_quadratic_bowl(self):
+        target = np.array([[1.0, -2.0], [3.0, 0.5]])
+
+        def fun(th):
+            diff = th - target
+            return 0.5 * float((diff * diff).sum()), diff
+
+        res = minimize_gd(fun, np.zeros((2, 2)), max_iter=200)
+        assert res.converged
+        assert np.allclose(res.theta, target, atol=1e-4)
+
+    def test_history_monotone_nonincreasing(self, rng):
+        a = rng.normal(size=(5, 5))
+        q = a @ a.T + np.eye(5)
+
+        def fun(th):
+            v = th[:, 0]
+            return 0.5 * float(v @ q @ v), (q @ th[:, 0])[:, None]
+
+        res = minimize_gd(fun, rng.normal(size=(5, 1)), max_iter=100)
+        assert all(b <= a + 1e-12 for a, b in zip(res.history, res.history[1:]))
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def small_ds(self, model):
+        m = np.array([10, 200, 2000, 0])
+        k = np.array([5, 60, 500, 3000])
+        return collect_timing_dataset(m, k, tesla := model)
+
+    def test_shapes(self, small_ds):
+        assert small_ds.times.shape == (4, 4)
+        assert small_ds.n == 4
+
+    def test_oracle_leq_any_policy(self, small_ds):
+        oracle = small_ds.oracle_time()
+        for p in small_ds.policies:
+            assert oracle <= small_ds.policy_time(p) + 1e-12
+
+    def test_best_labels_argmin(self, small_ds):
+        lab = small_ds.best_labels()
+        assert np.array_equal(lab, np.argmin(small_ds.times, axis=1))
+
+    def test_repetitions_and_noise(self, model):
+        ds = collect_timing_dataset(
+            np.array([100]), np.array([50]), model, noise=0.05, repetitions=3
+        )
+        assert ds.n == 3
+        assert len({float(t) for t in ds.times[:, 0]}) > 1  # noisy replicas
+
+    def test_subsample(self, small_ds):
+        sub = small_ds.subsample(2, seed=1)
+        assert sub.n == 2
+
+    def test_mk_cloud_properties(self):
+        m, k = sample_mk_cloud(300, seed=4)
+        assert m.size == k.size == 300
+        assert (k >= 1).all()
+        assert (m >= 0).all()
+        assert (m == 0).any()  # the root special case is represented
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TimingDataset(
+                np.array([1]), np.array([1, 2]),
+                np.ones((1, 2)), ("P1", "P2"),
+            )
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self, model):
+        m, k = sample_mk_cloud(250, seed=2)
+        ds = collect_timing_dataset(m, k, model, noise=0.05, repetitions=2, seed=2)
+        me, ke = sample_mk_cloud(250, seed=77)
+        ev = collect_timing_dataset(me, ke, model)
+        return ds, ev
+
+    def test_cost_sensitive_close_to_oracle(self, trained):
+        ds, ev = trained
+        clf = train_cost_sensitive(ds)
+        total = clf.expected_time(ev.m, ev.k, ev.times)
+        oracle = ev.oracle_time()
+        # the paper: model hybrid within ~2% of the ideal hybrid
+        assert total <= 1.05 * oracle
+
+    def test_cost_sensitive_beats_or_ties_cross_entropy(self, trained):
+        ds, ev = trained
+        cs = train_cost_sensitive(ds)
+        ce = train_cross_entropy(ds)
+        t_cs = cs.expected_time(ev.m, ev.k, ev.times)
+        t_ce = ce.expected_time(ev.m, ev.k, ev.times)
+        assert t_cs <= t_ce * 1.01
+
+    def test_beats_every_static_policy(self, trained):
+        ds, ev = trained
+        clf = train_cost_sensitive(ds)
+        total = clf.expected_time(ev.m, ev.k, ev.times)
+        for p in ev.policies:
+            assert total < ev.policy_time(p)
+
+    def test_small_calls_predicted_p1(self, trained):
+        ds, _ = trained
+        clf = train_cost_sensitive(ds)
+        assert clf.predict_one(5, 3) == "P1"
+
+    def test_huge_calls_predicted_gpu(self, trained):
+        ds, _ = trained
+        clf = train_cost_sensitive(ds)
+        assert clf.predict_one(9000, 5000) in ("P3", "P4")
+
+    def test_default_classifier_cached(self, model):
+        a = train_default_classifier(model, n_samples=60, seed=5)
+        b = train_default_classifier(model, n_samples=60, seed=5)
+        assert a is b
+
+    def test_classifier_roundtrip_api(self, trained):
+        ds, _ = trained
+        clf = train_cost_sensitive(ds)
+        proba = clf.predict_proba([100], [50])
+        assert proba.shape == (1, 4)
+        assert proba.sum() == pytest.approx(1.0)
+        counts = clf.decision_counts(ds.m, ds.k)
+        assert sum(counts.values()) == ds.n
+
+    def test_classifier_validates_theta(self):
+        with pytest.raises(ValueError):
+            PolicyClassifier(np.zeros((3, 2)), ("P1",))
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def setup(self, model):
+        from repro.autotune import evaluate, collect_timing_dataset
+
+        m, k = sample_mk_cloud(200, seed=13)
+        ds = collect_timing_dataset(m, k, model, seed=13)
+        clf = train_cost_sensitive(ds, max_iter=300)
+        return ds, clf
+
+    def test_regret_report_consistency(self, setup):
+        from repro.autotune import evaluate
+
+        ds, clf = setup
+        rep = evaluate(clf, ds)
+        assert rep.total_seconds >= rep.oracle_seconds - 1e-12
+        assert rep.regret_seconds == pytest.approx(
+            rep.total_seconds - rep.oracle_seconds
+        )
+        assert 0.0 <= rep.accuracy <= 1.0
+        assert rep.n == ds.n
+
+    def test_confusion_matrices(self, setup):
+        from repro.autotune import confusion_matrix
+
+        ds, clf = setup
+        counts, cost = confusion_matrix(clf, ds)
+        r = len(ds.policies)
+        assert counts.shape == cost.shape == (r, r)
+        assert counts.sum() == ds.n
+        # diagonal confusions cost nothing
+        assert np.allclose(np.diag(cost), 0.0)
+        # total off-diagonal cost equals the regret
+        from repro.autotune import evaluate
+
+        rep = evaluate(clf, ds)
+        assert cost.sum() == pytest.approx(rep.regret_seconds, abs=1e-9)
+
+    def test_cross_validation(self, setup, model):
+        from repro.autotune import cross_validate
+
+        ds, _ = setup
+        reports = cross_validate(
+            ds, lambda d: train_cost_sensitive(d, max_iter=200), k_folds=3
+        )
+        assert len(reports) == 3
+        assert sum(r.n for r in reports) == ds.n
+        # every fold stays within a sane band of the oracle
+        assert all(r.regret_percent < 50.0 for r in reports)
+
+    def test_cross_validation_validates_args(self, setup):
+        from repro.autotune import cross_validate
+
+        ds, _ = setup
+        with pytest.raises(ValueError):
+            cross_validate(ds, lambda d: None, k_folds=1)

@@ -1,0 +1,168 @@
+"""Cluster extension: mapping, interconnect accounting, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    InterconnectParams,
+    map_subtrees_to_ranks,
+    simulate_cluster,
+    subtree_flops,
+)
+from repro.matrices import grid_laplacian_3d
+from repro.policies import BaselineHybrid, make_policy
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.etree import NO_PARENT
+from repro.workload import geometric_nd_workload
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return symbolic_factorize(grid_laplacian_3d(8, 8, 8), ordering="nd")
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return geometric_nd_workload(24, 24, 24, leaf_cells=16)
+
+
+class TestMapping:
+    def test_single_rank_owns_everything(self, sf):
+        owner = map_subtrees_to_ranks(sf, 1)
+        assert (owner == 0).all()
+
+    def test_every_rank_used_when_possible(self, wl):
+        owner = map_subtrees_to_ranks(wl, 4)
+        assert set(np.unique(owner)) == {0, 1, 2, 3}
+
+    def test_root_on_rank_zero(self, wl):
+        owner = map_subtrees_to_ranks(wl, 4)
+        roots = np.flatnonzero(wl.sparent == NO_PARENT)
+        assert (owner[roots] == 0).all()
+
+    def test_subtrees_stay_local_below_split(self, wl):
+        # if a node and its parent share a rank set of size one, the
+        # whole subtree must be on one rank: check that cross edges are
+        # few relative to tree edges
+        owner = map_subtrees_to_ranks(wl, 4)
+        cross = sum(
+            1
+            for s in range(wl.n_supernodes)
+            if wl.sparent[s] != NO_PARENT and owner[wl.sparent[s]] != owner[s]
+        )
+        assert cross <= 16
+
+    def test_balance(self, wl):
+        owner = map_subtrees_to_ranks(wl, 2)
+        w = subtree_flops(wl)
+        own_flops = np.zeros(2)
+        from repro.symbolic.symbolic import factor_update_flops
+
+        for s in range(wl.n_supernodes):
+            own_flops[owner[s]] += sum(
+                factor_update_flops(wl.update_size(s), wl.width(s))
+            )
+        ratio = own_flops.max() / own_flops.min()
+        assert ratio < 3.0
+
+    def test_subtree_flops_monotone_up_the_tree(self, sf):
+        t = subtree_flops(sf)
+        for s in range(sf.n_supernodes):
+            p = sf.sparent[s]
+            if p != NO_PARENT:
+                assert t[p] >= t[s]
+
+    def test_invalid_rank_count(self, sf):
+        with pytest.raises(ValueError):
+            map_subtrees_to_ranks(sf, 0)
+
+
+class TestInterconnect:
+    def test_time_model(self):
+        net = InterconnectParams(latency=1e-5, bandwidth=1e9)
+        assert net.time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)
+        with pytest.raises(ValueError):
+            ClusterSpec(2, gpus_per_rank=2)
+
+
+class TestSimulation:
+    def test_one_rank_matches_serial_replay(self, sf, model):
+        from repro.gpu import SimulatedNode
+        from repro.multifrontal.numeric import replay_factorize
+
+        res = simulate_cluster(
+            sf, make_policy("P1"), ClusterSpec(1, 0, model=model)
+        )
+        rp = replay_factorize(
+            sf, make_policy("P1"),
+            node=SimulatedNode(model=model, n_cpus=1, n_gpus=0),
+        )
+        assert res.makespan == pytest.approx(rp.makespan, rel=1e-9)
+        assert res.comm_messages == 0
+
+    def test_two_ranks_faster_with_comm_accounted(self, wl, model):
+        serial = simulate_cluster(
+            wl, make_policy("P1"), ClusterSpec(1, 0, model=model)
+        )
+        dist = simulate_cluster(
+            wl, make_policy("P1"), ClusterSpec(2, 0, model=model)
+        )
+        assert dist.makespan < serial.makespan
+        assert dist.comm_messages > 0
+        assert dist.comm_bytes > 0
+        assert dist.comm_seconds > 0
+
+    def test_scaling_monotone(self, wl, model):
+        times = [
+            simulate_cluster(
+                wl, make_policy("P1"), ClusterSpec(r, 0, model=model)
+            ).makespan
+            for r in (1, 2, 4)
+        ]
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_gpus_accelerate_ranks(self, wl, model):
+        cpu_only = simulate_cluster(
+            wl, make_policy("P1"), ClusterSpec(2, 0, model=model)
+        )
+        hybrid = simulate_cluster(
+            wl, BaselineHybrid(), ClusterSpec(2, 1, model=model)
+        )
+        assert hybrid.makespan < cpu_only.makespan
+
+    def test_slow_network_hurts(self, wl, model):
+        fast = simulate_cluster(
+            wl, make_policy("P1"),
+            ClusterSpec(4, 0, model=model,
+                        interconnect=InterconnectParams(bandwidth=10e9)),
+        )
+        slow = simulate_cluster(
+            wl, make_policy("P1"),
+            ClusterSpec(4, 0, model=model,
+                        interconnect=InterconnectParams(bandwidth=5e7)),
+        )
+        assert slow.makespan > fast.makespan
+
+    def test_custom_owner_accepted_and_validated(self, sf, model):
+        owner = np.zeros(sf.n_supernodes, dtype=np.int64)
+        res = simulate_cluster(
+            sf, make_policy("P1"), ClusterSpec(2, 0, model=model), owner=owner
+        )
+        assert res.comm_messages == 0
+        with pytest.raises(ValueError):
+            simulate_cluster(
+                sf, make_policy("P1"), ClusterSpec(2, 0, model=model),
+                owner=np.full(sf.n_supernodes, 5),
+            )
+
+    def test_utilization_bounded(self, wl, model):
+        res = simulate_cluster(
+            wl, make_policy("P1"), ClusterSpec(4, 0, model=model)
+        )
+        assert 0.0 < res.utilization() <= 1.05

@@ -1,0 +1,146 @@
+"""Dense kernels and the Figure-9 blocked panel algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.dense import (
+    KernelCounts,
+    blocked_cholesky_panels,
+    blocked_factor_update,
+    gemm,
+    potrf,
+    potrf_flops,
+    syrk,
+    syrk_flops,
+    trsm_flops,
+    trsm_right_lower,
+)
+from repro.dense.blocked import HostKernels, default_panel_width
+from repro.dense.kernels import NotPositiveDefiniteError, gemm_flops
+
+
+def spd(n, rng, shift=None):
+    b = rng.normal(size=(n, n + 5))
+    return b @ b.T + (shift if shift is not None else n) * np.eye(n)
+
+
+class TestKernels:
+    def test_potrf_reconstructs(self, rng):
+        a = spd(12, rng)
+        l = potrf(a)
+        assert np.allclose(l @ l.T, a)
+        assert np.allclose(np.triu(l, 1), 0.0)
+
+    def test_potrf_rejects_indefinite(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            potrf(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_potrf_rejects_nonsquare(self, rng):
+        with pytest.raises(ValueError):
+            potrf(rng.normal(size=(3, 4)))
+
+    def test_trsm_solves(self, rng):
+        l = potrf(spd(9, rng))
+        b = rng.normal(size=(14, 9))
+        x = trsm_right_lower(b, l)
+        assert np.allclose(x @ l.T, b)
+
+    def test_trsm_blocked_matches_unblocked(self, rng):
+        # exercise the k > block-size path
+        l = potrf(spd(70, rng))
+        b = rng.normal(size=(5, 70))
+        x = trsm_right_lower(b, l)
+        assert np.allclose(x @ l.T, b, atol=1e-8)
+
+    def test_trsm_shape_checks(self, rng):
+        l = potrf(spd(4, rng))
+        with pytest.raises(ValueError):
+            trsm_right_lower(rng.normal(size=(3, 5)), l)
+        with pytest.raises(ValueError):
+            trsm_right_lower(rng.normal(size=(3, 4)), rng.normal(size=(4, 3)))
+
+    def test_syrk_in_place(self, rng):
+        x = rng.normal(size=(6, 3))
+        c = np.eye(6)
+        out = syrk(c, x)
+        assert out is c
+        assert np.allclose(c, np.eye(6) - x @ x.T)
+
+    def test_gemm_alpha(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(3, 5))
+        c = np.zeros((4, 5))
+        gemm(c, a, b, alpha=2.0)
+        assert np.allclose(c, 2 * a @ b)
+
+    def test_flop_formulas(self):
+        assert potrf_flops(6) == pytest.approx(72.0)
+        assert trsm_flops(10, 3) == pytest.approx(90.0)
+        assert syrk_flops(10, 3) == pytest.approx(300.0)
+        assert gemm_flops(2, 3, 4) == pytest.approx(48.0)
+
+    def test_kernel_counts_accumulate(self, rng):
+        counts = KernelCounts()
+        l = potrf(spd(5, rng), counts=counts)
+        trsm_right_lower(rng.normal(size=(7, 5)), l, counts=counts)
+        syrk(np.eye(7), rng.normal(size=(7, 5)), counts=counts)
+        assert counts.calls == {"potrf": 1, "trsm": 1, "syrk": 1}
+        assert counts.total_flops() == pytest.approx(
+            potrf_flops(5) + trsm_flops(7, 5) + syrk_flops(7, 5)
+        )
+
+
+class TestBlockedPanels:
+    @pytest.mark.parametrize("s,k,w", [(30, 12, 4), (25, 25, 8), (40, 17, 17), (33, 10, 64)])
+    def test_matches_reference_cholesky(self, s, k, w, rng):
+        f = spd(s, rng)
+        ref_l = np.linalg.cholesky(f)
+        ref_u = f[k:, k:] - ref_l[k:, :k] @ ref_l[k:, :k].T
+        work = f.copy()
+        blocked_cholesky_panels(work, k, w, HostKernels())
+        assert np.allclose(np.tril(work[:k, :k]), ref_l[:k, :k])
+        assert np.allclose(work[k:, :k], ref_l[k:, :k])
+        assert np.allclose(work[k:, k:], ref_u)
+
+    def test_upper_triangle_zeroed(self, rng):
+        work = spd(10, rng)
+        blocked_cholesky_panels(work, 6, 3, HostKernels())
+        assert np.allclose(np.triu(work[:6, :6], 1), 0.0)
+
+    def test_full_factor_when_k_equals_s(self, rng):
+        f = spd(20, rng)
+        ref = np.linalg.cholesky(f)
+        work = f.copy()
+        blocked_cholesky_panels(work, 20, 6, HostKernels())
+        assert np.allclose(np.tril(work), ref)
+
+    def test_blocked_factor_update_views(self, rng):
+        f = spd(15, rng)
+        l1, l2, u = blocked_factor_update(f.copy(), 5, HostKernels())
+        assert l1.shape == (5, 5)
+        assert l2.shape == (10, 5)
+        assert u.shape == (10, 10)
+
+    def test_invalid_args(self, rng):
+        f = spd(8, rng)
+        with pytest.raises(ValueError):
+            blocked_cholesky_panels(f, 0, 4, HostKernels())
+        with pytest.raises(ValueError):
+            blocked_cholesky_panels(f, 4, 0, HostKernels())
+        with pytest.raises(ValueError):
+            blocked_cholesky_panels(rng.normal(size=(4, 5)), 2, 2, HostKernels())
+
+    def test_kernel_counts_flops_conserved(self, rng):
+        # total flops of the panel decomposition ~ the monolithic counts
+        s, k = 60, 40
+        counts = KernelCounts()
+        blocked_cholesky_panels(spd(s, rng), k, 10, HostKernels(counts))
+        m = s - k
+        expected = potrf_flops(k) + trsm_flops(m, k) + syrk_flops(m, k)
+        assert counts.total_flops() == pytest.approx(expected, rel=0.35)
+
+    def test_default_panel_width_monotone(self):
+        widths = [default_panel_width(k) for k in (10, 100, 1000, 10000, 10**6)]
+        assert widths == sorted(widths)
+        assert min(widths) >= 64
+        assert max(widths) <= 512

@@ -1,0 +1,124 @@
+"""Device-resident factorization (the §VI-C copy-optimization mechanism)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.gpu import SimulatedNode, tesla_t10_model
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.spec import TESLA_T10
+from repro.matrices import grid_laplacian_3d
+from repro.multifrontal import (
+    factorize_numeric,
+    factorize_resident,
+    flops_placement,
+    iterative_refinement,
+    solve_factored,
+)
+from repro.policies import make_policy
+from repro.symbolic import symbolic_factorize
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = grid_laplacian_3d(8, 8, 8)
+    return a, symbolic_factorize(a, ordering="nd")
+
+
+AGGRESSIVE = flops_placement(1e4)   # small problem: offload almost everything
+
+
+class TestNumerics:
+    def test_solution_correct_with_refinement(self, problem):
+        a, sf = problem
+        nf, stats = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        assert stats.n_device_supernodes > 0
+        rng = np.random.default_rng(0)
+        x_true = rng.normal(size=a.n_rows)
+        res = iterative_refinement(a, nf, a.matvec(x_true))
+        assert np.abs(res.x - x_true).max() < 1e-9
+        assert res.iterations <= 3
+
+    def test_fp32_error_compounds_across_resident_generations(self, problem):
+        a, sf = problem
+        nf, _ = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        resid = nf.residual_norm(a)
+        assert 1e-12 < resid < 1e-3   # fp32-limited, not garbage
+
+    def test_all_host_placement_is_exact(self, problem):
+        a, sf = problem
+        nf, stats = factorize_resident(
+            a, sf, place_on_device=lambda m, k: False
+        )
+        assert stats.n_device_supernodes == 0
+        assert nf.residual_norm(a) < 1e-12
+
+    def test_matches_p1_solution(self, problem):
+        a, sf = problem
+        nf_res, _ = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        nf_p1 = factorize_numeric(a, sf, make_policy("P1"))
+        b = np.ones(a.n_rows)
+        x1 = solve_factored(nf_p1, b)
+        x2 = solve_factored(nf_res, b)
+        assert np.abs(x1 - x2).max() < 1e-3
+
+
+class TestResidency:
+    def test_resident_reuse_happens(self, problem):
+        a, sf = problem
+        nf, stats = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        # chains of device supernodes pass updates without PCIe traffic
+        assert stats.resident_reuse_bytes > 0
+        assert stats.peak_resident_bytes > 0
+
+    def test_resident_transfers_less_than_plain_p4(self, problem):
+        a, sf = problem
+        nf_res, stats = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        # plain P4 round-trips the full front both ways every call
+        word = 4
+        p4_traffic = sum(
+            (r.m + r.k) ** 2 * word * 2 for r in nf_res.records
+        )
+        assert stats.h2d_bytes + stats.d2h_bytes < p4_traffic
+
+    def test_faster_than_plain_p4_everywhere(self, problem):
+        a, sf = problem
+        nf_res, _ = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        nf_p4 = factorize_numeric(
+            a, sf, make_policy("P4"), node=SimulatedNode()
+        )
+        assert nf_res.makespan < nf_p4.makespan
+
+    def test_spilling_under_tiny_device_memory(self, problem):
+        a, sf = problem
+        model = tesla_t10_model()
+        node = SimulatedNode(model=model)
+        small = replace(TESLA_T10, memory_bytes=8 * 1024)
+        node.gpus[0] = SimulatedGpu(model, 0, spec=small)
+        nf, stats = factorize_resident(
+            a, sf, node=node, place_on_device=AGGRESSIVE
+        )
+        assert stats.n_spills > 0
+        assert stats.peak_resident_bytes <= 8 * 1024 * 4  # bounded-ish
+        # numerics survive spilling
+        res = iterative_refinement(a, nf, np.ones(a.n_rows))
+        assert res.final_residual < 1e-10
+
+    def test_requires_gpu(self, problem):
+        a, sf = problem
+        with pytest.raises(ValueError):
+            factorize_resident(
+                a, sf, node=SimulatedNode(n_cpus=1, n_gpus=0)
+            )
+
+    def test_records_tag_policies(self, problem):
+        a, sf = problem
+        nf, stats = factorize_resident(a, sf, place_on_device=AGGRESSIVE)
+        tags = {r.policy for r in nf.records}
+        assert tags <= {"P4r", "P1"}
+        assert "P4r" in tags
+
+    def test_default_placement_threshold(self):
+        choose = flops_placement(2e6)
+        assert not choose(10, 10)
+        assert choose(5000, 1000)

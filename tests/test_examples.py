@@ -1,0 +1,58 @@
+"""The examples must stay runnable — each is executed as a subprocess.
+
+The two heavyweight examples (multi-GPU scaling, cluster scaling, both
+paper-scale) are exercised by their benchmark counterparts instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "structural_analysis.py",
+    "mixed_precision_refinement.py",
+    "copy_optimization.py",
+    "schur_domain_decomposition.py",
+]
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+    assert "Traceback" not in proc.stderr
+
+
+def test_quickstart_reports_the_key_quantities():
+    proc = run_example("quickstart.py")
+    out = proc.stdout
+    assert "policy usage" in out
+    assert "refinement step" in out
+    assert "simulated" in out or "GF/s" in out
+
+
+def test_all_examples_present_and_documented():
+    listed = sorted(
+        f for f in os.listdir(EXAMPLES) if f.endswith(".py")
+    )
+    assert len(listed) >= 7
+    for f in listed:
+        with open(os.path.join(EXAMPLES, f)) as fh:
+            head = fh.read(2000)
+        assert '"""' in head, f"{f} lacks a docstring"
+        assert "Run:" in head or "Run :" in head, f"{f} lacks run instructions"

@@ -1,0 +1,115 @@
+"""Discrete-event engine: serialization, dependencies, overlap."""
+
+import pytest
+
+from repro.gpu.clock import EngineTimeline, TaskGraph, critical_path, schedule_graph
+
+
+def test_single_engine_serializes():
+    g = TaskGraph()
+    a = g.add("a", "cpu", 1.0)
+    b = g.add("b", "cpu", 2.0)
+    res = schedule_graph(g)
+    assert (a.start, a.end) == (0.0, 1.0)
+    assert (b.start, b.end) == (1.0, 3.0)
+    assert res.makespan == 3.0
+
+
+def test_independent_engines_overlap():
+    g = TaskGraph()
+    g.add("a", "cpu", 1.0)
+    g.add("b", "gpu", 1.0)
+    res = schedule_graph(g)
+    assert res.makespan == 1.0
+
+
+def test_dependencies_respected_across_engines():
+    g = TaskGraph()
+    a = g.add("h2d", "dma", 2.0)
+    b = g.add("kernel", "gpu", 1.0, deps=(a,))
+    res = schedule_graph(g)
+    assert b.start == 2.0
+    assert res.makespan == 3.0
+
+
+def test_copy_compute_overlap_pattern():
+    # the P3 shape: upload overlaps potrf; trsm waits for both
+    g = TaskGraph()
+    potrf = g.add("potrf", "cpu", 5.0)
+    h2d = g.add("h2d", "dma", 3.0)
+    trsm = g.add("trsm", "gpu", 2.0, deps=(potrf, h2d))
+    res = schedule_graph(g)
+    assert trsm.start == 5.0  # bound by the slower of the two
+    assert res.makespan == 7.0
+
+
+def test_submission_before_dependency_rejected():
+    g = TaskGraph()
+    late = g.tasks  # build manually: dep not yet scheduled
+    a = g.add("a", "cpu", 1.0)
+    g2 = TaskGraph()
+    b = g2.add("b", "cpu", 1.0, deps=(a,))
+    with pytest.raises(ValueError):
+        schedule_graph(g2)  # a never scheduled in this graph
+
+
+def test_engine_state_persists_across_graphs():
+    engines = {}
+    g1 = TaskGraph()
+    g1.add("a", "cpu", 4.0)
+    schedule_graph(g1, engines=engines)
+    g2 = TaskGraph()
+    b = g2.add("b", "cpu", 1.0)
+    res = schedule_graph(g2, engines=engines)
+    assert b.start == 4.0
+    assert res.makespan == 5.0
+
+
+def test_release_time():
+    g = TaskGraph()
+    a = g.add("a", "cpu", 1.0)
+    res = schedule_graph(g, start_time=10.0)
+    assert a.start == 10.0
+    assert res.elapsed == 1.0
+
+
+def test_negative_duration_rejected():
+    g = TaskGraph()
+    with pytest.raises(ValueError):
+        g.add("bad", "cpu", -1.0)
+
+
+def test_busy_and_utilization():
+    g = TaskGraph()
+    g.add("a", "cpu", 2.0)
+    g.add("b", "gpu", 1.0)
+    res = schedule_graph(g)
+    assert res.engines["cpu"].busy == 2.0
+    assert res.engines["gpu"].utilization(res.makespan) == pytest.approx(0.5)
+
+
+def test_category_totals():
+    g = TaskGraph()
+    g.add("a", "cpu", 2.0, category="potrf")
+    g.add("b", "cpu", 3.0, category="copy")
+    g.add("c", "cpu", 1.0, category="copy")
+    res = schedule_graph(g)
+    assert res.time_by_category() == {"potrf": 2.0, "copy": 4.0}
+
+
+def test_critical_path_recovery():
+    g = TaskGraph()
+    a = g.add("a", "dma", 5.0)
+    b = g.add("b", "cpu", 1.0)
+    c = g.add("c", "gpu", 1.0, deps=(a,))
+    res = schedule_graph(g)
+    path = critical_path(res)
+    assert [t.name for t in path] == ["a", "c"]
+
+
+def test_zero_duration_tasks():
+    g = TaskGraph()
+    a = g.add("a", "cpu", 1.0)
+    sync = g.add("sync", "cpu", 0.0, deps=(a,))
+    res = schedule_graph(g)
+    assert sync.start == sync.end == 1.0

@@ -1,0 +1,180 @@
+"""Allocator pools, the CUBLAS context, and the simulated node."""
+
+import numpy as np
+import pytest
+
+from repro.dense.blocked import HostKernels, blocked_cholesky_panels
+from repro.gpu import CublasContext, HighWaterMarkPool, SimulatedNode, tesla_t10_model
+from repro.gpu.allocator import DeviceMemoryError, PerCallPool
+from repro.gpu.cublas import panel_kernel_sequence
+
+
+class TestPools:
+    def test_growth_then_free_reuse(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 1e-3)
+        assert pool.request(100) == 1e-3
+        assert pool.request(50) == 0.0       # fits under high-water mark
+        assert pool.request(100) == 0.0
+        assert pool.request(200) == 1e-3     # growth
+        assert pool.stats.n_growths == 2
+        assert pool.stats.n_requests == 4
+
+    def test_capacity_limit(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 0.0, capacity_limit=1000)
+        pool.request(1000)
+        with pytest.raises(DeviceMemoryError):
+            pool.request(1001)
+
+    def test_negative_rejected(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 0.0)
+        with pytest.raises(ValueError):
+            pool.request(-1)
+
+    def test_per_call_pool_always_pays(self):
+        pool = PerCallPool(alloc_time=lambda b: 2e-3)
+        assert pool.request(10) == 2e-3
+        assert pool.request(10) == 2e-3
+        assert pool.stats.n_growths == 2
+
+    def test_alloc_seconds_accumulate(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: b * 1e-9)
+        pool.request(1000)
+        pool.request(3000)
+        assert pool.stats.alloc_seconds == pytest.approx(4e-6)
+        assert pool.stats.high_water == 3000
+
+
+class TestCublasContext:
+    @pytest.fixture
+    def ctx(self):
+        return CublasContext(tesla_t10_model())
+
+    def test_fp32_dtype_under_sp(self, ctx):
+        assert ctx.dtype == np.float32
+
+    def test_dp_mode_uses_float64(self):
+        ctx = CublasContext(tesla_t10_model().with_precision("dp"))
+        assert ctx.dtype == np.float64
+
+    def test_rejects_host_dtype(self, ctx, rng):
+        with pytest.raises(TypeError):
+            ctx.potrf(np.eye(4))  # float64 into an sp context
+
+    def test_kernels_compute_correctly_in_fp32(self, ctx, rng):
+        a = rng.normal(size=(10, 12)).astype(np.float32)
+        spd = (a @ a.T + 20 * np.eye(10)).astype(np.float32)
+        l = ctx.potrf(spd)
+        assert np.allclose(l @ l.T, spd, atol=1e-3)
+        b = rng.normal(size=(6, 10)).astype(np.float32)
+        x = ctx.trsm(b, l)
+        assert np.allclose(x @ l.T, b, atol=1e-3)
+        c = np.eye(6, dtype=np.float32)
+        ctx.syrk(c, x)
+        assert np.allclose(c, np.eye(6) - x @ x.T, atol=1e-3)
+
+    def test_time_charged_per_call(self, ctx, rng):
+        a = rng.normal(size=(8, 8)).astype(np.float32)
+        spd = (a @ a.T + 20 * np.eye(8)).astype(np.float32)
+        before = ctx.busy_seconds
+        ctx.potrf(spd)
+        assert ctx.busy_seconds > before
+        assert ctx.last_call_seconds > 0
+        assert ctx.calls[-1].kernel == "potrf"
+
+    def test_syrk_outer_returns_product(self, ctx, rng):
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        w = ctx.syrk_outer(x)
+        assert np.allclose(w, x @ x.T, atol=1e-4)
+
+    def test_price_matches_sum_of_kernel_times(self, ctx):
+        calls = panel_kernel_sequence(100, 40, 16)
+        total = ctx.price(calls)
+        manual = sum(
+            ctx.model.kernel_time("gpu", c.kernel, m=c.m, n=c.n, k=c.k)
+            for c in calls
+        )
+        assert total == pytest.approx(manual)
+
+    def test_blocked_loop_records_declared_sequence(self, ctx, rng):
+        s, k, w = 50, 30, 8
+        b = rng.normal(size=(s, s + 3))
+        f = (b @ b.T + s * np.eye(s)).astype(np.float32)
+        blocked_cholesky_panels(f, k, w, ctx)
+        got = [(c.kernel, c.m, c.n, c.k) for c in ctx.calls]
+        want = [(c.kernel, c.m, c.n, c.k) for c in panel_kernel_sequence(s, k, w)]
+        assert got == want
+
+
+class TestPanelSequence:
+    def test_single_panel_no_trailing(self):
+        calls = panel_kernel_sequence(10, 10, 10)
+        assert [c.kernel for c in calls] == ["potrf"]
+
+    def test_single_panel_with_update(self):
+        calls = panel_kernel_sequence(15, 5, 5)
+        assert [c.kernel for c in calls] == ["potrf", "trsm", "syrk"]
+
+    def test_multi_panel_structure(self):
+        calls = panel_kernel_sequence(20, 10, 5)
+        kinds = [c.kernel for c in calls]
+        assert kinds == [
+            "potrf", "trsm", "syrk", "gemm", "syrk",   # first panel
+            "potrf", "trsm", "syrk",                    # last panel
+        ]
+
+    def test_flops_conserved(self):
+        from repro.dense.kernels import (
+            gemm_flops, potrf_flops, syrk_flops, trsm_flops,
+        )
+        s, k = 80, 50
+        total = 0.0
+        for c in panel_kernel_sequence(s, k, 16):
+            total += {
+                "potrf": lambda c: potrf_flops(c.k),
+                "trsm": lambda c: trsm_flops(c.m, c.k),
+                "syrk": lambda c: syrk_flops(c.m, c.k),
+                "gemm": lambda c: gemm_flops(c.m, c.n, c.k) / 2,
+            }[c.kernel](c)
+        m = s - k
+        expected = potrf_flops(k) + trsm_flops(m, k) + syrk_flops(m, k)
+        assert total == pytest.approx(expected, rel=0.5)
+
+
+class TestSimulatedNode:
+    def test_default_configuration(self):
+        node = SimulatedNode()
+        assert len(node.cpus) == 1
+        assert len(node.gpus) == 1
+        assert node.now == 0.0
+
+    def test_engine_names_unique_per_gpu(self):
+        node = SimulatedNode(n_cpus=2, n_gpus=2)
+        names = {
+            g.compute_engine for g in node.gpus
+        } | {g.h2d_engine for g in node.gpus} | {g.d2h_engine for g in node.gpus}
+        assert len(names) == 6
+
+    def test_reserve_charges_once(self):
+        node = SimulatedNode()
+        g = node.gpus[0]
+        first = g.reserve(1000, 1000)
+        assert first > 0
+        assert g.reserve(500, 500) == 0.0
+
+    def test_reset_clears_state(self):
+        node = SimulatedNode()
+        node.gpus[0].reserve(1000, 1000)
+        from repro.gpu.clock import TaskGraph, schedule_graph
+        g = TaskGraph()
+        g.add("x", "cpu0", 1.0)
+        schedule_graph(g, engines=node.engines)
+        assert node.now == 1.0
+        node.reset()
+        assert node.now == 0.0
+        assert node.gpus[0].device_pool.capacity == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedNode(n_cpus=0)
+        with pytest.raises(ValueError):
+            SimulatedNode(n_gpus=-1)

@@ -1,0 +1,145 @@
+"""The calibrated performance model: rates, crossovers, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TESLA_T10, XEON_5160_CORE, tesla_t10_model
+from repro.gpu.perfmodel import KernelParams, TransferParams
+
+
+@pytest.fixture(scope="module")
+def m():
+    return tesla_t10_model()
+
+
+class TestCalibrationTargets:
+    """The Table III / Figure 7/8 numbers the model is built to hit."""
+
+    def test_cpu_stabilized_rates_match_table3(self, m):
+        assert m.cpu["potrf"].peak == pytest.approx(8.84e9)
+        assert m.cpu["trsm"].peak == pytest.approx(9.24e9)
+        assert m.cpu["syrk"].peak == pytest.approx(10.02e9)
+
+    def test_gpu_stabilized_rates_match_table3(self, m):
+        assert m.gpu["trsm"].peak == pytest.approx(153.7e9)
+        assert m.gpu["syrk"].peak == pytest.approx(159.69e9)
+
+    def test_percent_peak_matches_table3(self, m):
+        # paper: potrf 73.7%, trsm 76.99%, syrk 83.49% of the 12 GF/s core
+        assert m.percent_peak("cpu", "potrf") == pytest.approx(73.7, abs=0.5)
+        assert m.percent_peak("cpu", "trsm") == pytest.approx(76.99, abs=0.5)
+        assert m.percent_peak("cpu", "syrk") == pytest.approx(83.49, abs=0.5)
+        # GPU: trsm 24.63%, syrk 25.59% of 624 GF/s
+        assert m.percent_peak("gpu", "trsm") == pytest.approx(24.63, abs=0.5)
+        assert m.percent_peak("gpu", "syrk") == pytest.approx(25.59, abs=0.5)
+
+    def test_trsm_crossover_no_copy_near_4e5(self, m):
+        # Figure 7: GPU overtakes CPU around 4e5 operations (no copies)
+        def diff(k, mm):
+            return m.kernel_time("cpu", "trsm", m=mm, k=k) - m.kernel_time(
+                "gpu", "trsm", m=mm, k=k
+            )
+        # square-ish shapes: below ~2e5 CPU wins, above ~2e6 GPU wins
+        assert diff(70, 40) < 0      # 2e5 ops: CPU faster
+        assert diff(160, 100) > 0    # 2.6e6 ops: GPU faster
+
+    def test_syrk_crossover_no_copy_near_1p5e5(self, m):
+        def diff(k, mm):
+            return m.kernel_time("cpu", "syrk", m=mm, k=k) - m.kernel_time(
+                "gpu", "syrk", m=mm, k=k
+            )
+        assert diff(20, 50) < 0       # 5e4 ops: CPU faster
+        assert diff(300, 60) > 0      # 1e6 ops: GPU faster
+
+    def test_gpu_rate_saturates_to_peak(self, m):
+        small = m.kernel_rate("gpu", "syrk", m=100, k=32)
+        large = m.kernel_rate("gpu", "syrk", m=8000, k=4000)
+        assert small < 0.5 * m.gpu["syrk"].peak
+        assert large > 0.85 * m.gpu["syrk"].peak
+
+    def test_cpu_rate_ramps_with_size(self, m):
+        small = m.kernel_rate("cpu", "syrk", m=30, k=10)
+        large = m.kernel_rate("cpu", "syrk", m=3000, k=500)
+        assert small < large <= m.cpu["syrk"].peak
+
+
+class TestMechanics:
+    def test_zero_work_is_free(self, m):
+        assert m.kernel_time("cpu", "syrk", m=0, k=10) == 0.0
+
+    def test_unknown_kernel_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.kernel_time("cpu", "axpy", m=1, k=1)
+
+    def test_tile_quantization_charges_padded_flops(self, m):
+        # m = 321 pads to 352 on the GPU (tile 32): identical charge as
+        # m = 352 (the efficiency term depends only on k for syrk)
+        t321 = m.kernel_time("gpu", "syrk", m=321, k=64)
+        t352 = m.kernel_time("gpu", "syrk", m=352, k=64)
+        assert t321 == pytest.approx(t352, rel=1e-12)
+        # the CPU charges nominal flops: strictly increasing in m
+        assert m.kernel_time("cpu", "syrk", m=321, k=64) < m.kernel_time(
+            "cpu", "syrk", m=352, k=64
+        )
+
+    def test_quantization_makes_rate_jagged(self, m):
+        # nominal rate dips just past tile boundaries (Fig. 8's jagged curve)
+        r32 = m.kernel_rate("gpu", "syrk", m=640, k=32)
+        r33 = m.kernel_rate("gpu", "syrk", m=640, k=33)
+        assert r33 < r32
+
+    def test_dp_model_is_8x_slower_at_peak(self, m):
+        dp = m.with_precision("dp")
+        assert dp.gpu["syrk"].peak == pytest.approx(m.gpu["syrk"].peak / 8)
+        assert dp.gpu_word == 8 and m.gpu_word == 4
+
+    def test_with_precision_validates(self, m):
+        with pytest.raises(ValueError):
+            m.with_precision("half")
+
+    def test_jitter_bounded_and_deterministic(self):
+        m1 = tesla_t10_model(jitter=0.1)
+        t_a = m1.kernel_time("gpu", "syrk", m=100, k=100)
+        t_b = m1.kernel_time("gpu", "syrk", m=100, k=100)
+        assert t_a == t_b
+        clean = tesla_t10_model().kernel_time("gpu", "syrk", m=100, k=100)
+        assert abs(t_a / clean - 1.0) <= 0.1 + 1e-12
+
+    def test_transfer_time_model(self, m):
+        t = m.transfer_time(1.8e9, pinned=True)
+        assert t == pytest.approx(1.0 + m.transfer.latency, rel=1e-6)
+        assert m.transfer_time(1000, pinned=False) > m.transfer_time(1000, pinned=True)
+
+    def test_pinned_alloc_expensive(self, m):
+        # paper V-A2: allocation is prohibitive relative to small copies
+        alloc = m.transfer.pinned_alloc_time(64 * 1024)
+        copy = m.transfer_time(64 * 1024, pinned=True)
+        assert alloc > 5 * copy
+
+    def test_host_memory_time_linear(self, m):
+        assert m.host_memory_time(2e9) == pytest.approx(2 * m.host_memory_time(1e9))
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        assert TESLA_T10.peak_sp_gflops == 624.0
+        assert TESLA_T10.peak_dp_gflops == 78.0
+        assert TESLA_T10.scalar_cores == 240
+        assert TESLA_T10.memory_bytes == 4 * 2**30
+        rows = dict(TESLA_T10.table_rows())
+        assert rows["Clock (GHz)"] == "1.3"
+        assert "30x8" in rows["Scalar Cores"]
+
+    def test_host_peaks(self):
+        assert XEON_5160_CORE.peak_dp_gflops == 12.0
+        assert XEON_5160_CORE.peak_sp_gflops == 24.0
+
+    def test_kernel_params_efficiency(self):
+        p = KernelParams(1e-6, 1e9, narrow_half=50)
+        assert p.efficiency(50) == pytest.approx(0.5)
+        assert KernelParams(1e-6, 1e9).efficiency(3) == 1.0
+
+    def test_transfer_params_time(self):
+        tp = TransferParams(latency=1e-5, bw_pageable=1e9, bw_pinned=2e9)
+        assert tp.time(2e9, pinned=True) == pytest.approx(1.0 + 1e-5)
+        assert tp.time(2e9, pinned=False) == pytest.approx(2.0 + 1e-5)

@@ -1,0 +1,111 @@
+"""Generators must produce genuinely SPD matrices with the right patterns."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    elasticity_3d,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_spd,
+)
+
+
+def is_spd(a):
+    d = a.to_dense()
+    if not np.allclose(d, d.T):
+        return False
+    return np.linalg.eigvalsh(d).min() > 0
+
+
+class TestGridLaplacians:
+    def test_2d_spd(self):
+        assert is_spd(grid_laplacian_2d(6, 5))
+
+    def test_3d_spd(self):
+        assert is_spd(grid_laplacian_3d(4, 3, 5))
+
+    def test_2d_stencil_count(self):
+        # 5-point stencil: nnz = n + 2 * n_edges
+        nx, ny = 7, 4
+        a = grid_laplacian_2d(nx, ny)
+        n_edges = (nx - 1) * ny + nx * (ny - 1)
+        assert a.nnz == nx * ny + 2 * n_edges
+
+    def test_3d_stencil_count(self):
+        nx, ny, nz = 3, 4, 5
+        a = grid_laplacian_3d(nx, ny, nz)
+        n_edges = (
+            (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1)
+        )
+        assert a.nnz == nx * ny * nz + 2 * n_edges
+
+    def test_row_sums_equal_shift(self):
+        # Laplacian rows sum to zero, so A @ 1 = shift * 1
+        a = grid_laplacian_3d(4, 4, 4, shift=0.25)
+        ones = np.ones(a.n_rows)
+        assert np.allclose(a.matvec(ones), 0.25 * ones)
+
+    def test_1x1_grid(self):
+        a = grid_laplacian_2d(1, 1)
+        assert a.n_rows == 1 and a.nnz == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_laplacian_2d(0, 3)
+        with pytest.raises(ValueError):
+            grid_laplacian_3d(2, -1, 2)
+
+
+class TestElasticity:
+    def test_spd(self):
+        assert is_spd(elasticity_3d(3, 3, 3))
+
+    def test_block_structure(self):
+        # every scalar stencil entry expands to a dense dof x dof block
+        dof = 3
+        a = elasticity_3d(2, 2, 2, dof=dof)
+        lap = grid_laplacian_3d(2, 2, 2, shift=0.0)
+        assert a.n_rows == lap.n_rows * dof
+        assert a.nnz == lap.nnz * dof * dof  # diagonal shift adds no pattern
+
+    def test_dof_parameter(self):
+        a = elasticity_3d(2, 2, 2, dof=2)
+        assert a.n_rows == 16
+
+    def test_coupling_bounds(self):
+        with pytest.raises(ValueError):
+            elasticity_3d(2, 2, 2, coupling=0.6)
+        with pytest.raises(ValueError):
+            elasticity_3d(2, 2, 2, dof=0)
+
+    def test_zero_coupling_is_block_diagonal_laplacians(self):
+        a = elasticity_3d(2, 2, 2, coupling=0.0, shift=0.1)
+        d = a.to_dense()
+        # with M1 = I the dof channels decouple: entries between different
+        # dofs of different nodes vanish
+        assert d[0, 4] == 0.0  # dof 0 of node 0 vs dof 1 of node 1
+
+
+class TestRandomSpd:
+    def test_spd(self):
+        assert is_spd(random_spd(80, seed=1))
+
+    def test_deterministic_by_seed(self):
+        a = random_spd(50, seed=9)
+        b = random_spd(50, seed=9)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_spd(50, seed=1)
+        b = random_spd(50, seed=2)
+        assert not (a.nnz == b.nnz and a.allclose(b))
+
+    def test_density_scales(self):
+        sparse = random_spd(200, avg_degree=2, seed=0)
+        dense = random_spd(200, avg_degree=12, seed=0)
+        assert dense.nnz > sparse.nnz
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            random_spd(0)

@@ -1,0 +1,64 @@
+"""MatrixMarket IO round trips."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import random_spd, read_matrix_market, write_matrix_market
+from repro.matrices.csc import csc_from_dense
+
+
+def test_symmetric_round_trip(tmp_path):
+    a = random_spd(40, seed=5)
+    path = tmp_path / "a.mtx"
+    write_matrix_market(path, a, symmetric=True)
+    b = read_matrix_market(path)
+    assert a.allclose(b)
+
+
+def test_general_round_trip(tmp_path, rng):
+    d = rng.normal(size=(6, 4))
+    d[np.abs(d) < 0.5] = 0.0
+    a = csc_from_dense(d)
+    path = tmp_path / "g.mtx"
+    write_matrix_market(path, a, symmetric=False)
+    b = read_matrix_market(path)
+    assert a.allclose(b)
+
+
+def test_symmetric_file_stores_lower_triangle_only(tmp_path):
+    a = random_spd(10, seed=1)
+    path = tmp_path / "low.mtx"
+    write_matrix_market(path, a, symmetric=True)
+    header, counts = open(path).read().splitlines()[:2]
+    assert header.endswith("symmetric")
+    nnz_file = int(counts.split()[2])
+    assert nnz_file == a.lower_triangle().nnz
+
+
+def test_values_preserved_exactly(tmp_path):
+    # repr round trip keeps float64 bit patterns
+    d = np.array([[1.0 / 3.0, 0.0], [0.0, np.pi]])
+    a = csc_from_dense(d)
+    path = tmp_path / "exact.mtx"
+    write_matrix_market(path, a, symmetric=False)
+    b = read_matrix_market(path)
+    assert np.array_equal(b.to_dense(), d)
+
+
+def test_rejects_unknown_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_skips_comment_lines(tmp_path):
+    path = tmp_path / "comments.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "% another\n"
+        "2 2 2\n1 1 1.5\n2 2 2.5\n"
+    )
+    a = read_matrix_market(path)
+    assert np.allclose(a.to_dense(), np.diag([1.5, 2.5]))

@@ -1,0 +1,237 @@
+"""Multifrontal numeric phase: assembly, factorization, solve, refinement."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d, random_spd
+from repro.matrices.csc import csc_from_dense
+from repro.multifrontal import (
+    SparseCholeskySolver,
+    factorize_numeric,
+    iterative_refinement,
+    solve_factored,
+)
+from repro.multifrontal.frontal import assemble_front, assembly_bytes, extend_add
+from repro.multifrontal.solve import trsv_lower, trsv_lower_t
+from repro.gpu import SimulatedNode
+from repro.policies import make_policy
+from repro.symbolic import symbolic_factorize
+
+
+class TestExtendAdd:
+    def test_scatter_add(self):
+        front = np.zeros((4, 4))
+        parent_rows = np.array([2, 5, 7, 9])
+        child_rows = np.array([5, 9])
+        u = np.array([[1.0, 2.0], [2.0, 3.0]])
+        extend_add(front, parent_rows, child_rows, u)
+        assert front[1, 1] == 1.0
+        assert front[1, 3] == 2.0
+        assert front[3, 3] == 3.0
+
+    def test_rejects_uncontained_rows(self):
+        with pytest.raises(ValueError):
+            extend_add(
+                np.zeros((2, 2)),
+                np.array([1, 3]),
+                np.array([2]),
+                np.array([[1.0]]),
+            )
+
+    def test_empty_child_noop(self):
+        front = np.zeros((2, 2))
+        extend_add(front, np.array([0, 1]), np.array([], dtype=np.int64), np.zeros((0, 0)))
+        assert (front == 0).all()
+
+    def test_assembly_bytes_positive(self):
+        assert assembly_bytes(10, [4, 6]) > assembly_bytes(10, [])
+
+
+class TestAssembleFront:
+    def test_leaf_front_matches_matrix(self):
+        a = grid_laplacian_2d(4, 4)
+        sf = symbolic_factorize(a, ordering="natural")
+        ap = a.permute_symmetric(sf.perm).lower_triangle()
+        # leaf supernodes have no children
+        kids = sf.schildren()
+        leaf = next(s for s in range(sf.n_supernodes) if not kids[s])
+        front = assemble_front(ap, sf, leaf, [])
+        # symmetric and contains the A entries of its columns
+        assert np.allclose(front, front.T)
+        f = int(sf.super_ptr[leaf])
+        dense = a.permute_symmetric(sf.perm).to_dense()
+        rows = sf.rows[leaf]
+        k = sf.width(leaf)
+        assert np.allclose(front[:, :k], dense[np.ix_(rows, np.arange(f, f + k))])
+
+
+def solve_and_check(a, policy_name, ordering="amd", node=None, atol=1e-6):
+    sf = symbolic_factorize(a, ordering=ordering)
+    pol = make_policy(policy_name)
+    nf = factorize_numeric(a, sf, pol, node=node)
+    rng = np.random.default_rng(1)
+    x_true = rng.normal(size=a.n_rows)
+    b = a.matvec(x_true)
+    x = solve_factored(nf, b)
+    return nf, np.abs(x - x_true).max() / np.abs(x_true).max()
+
+
+class TestFactorizeNumeric:
+    @pytest.mark.parametrize("ordering", ["natural", "amd", "rcm", "nd"])
+    def test_p1_exact_under_all_orderings(self, ordering, lap2d_small):
+        nf, err = solve_and_check(lap2d_small, "P1", ordering)
+        assert err < 1e-10
+        assert nf.residual_norm(lap2d_small) < 1e-12
+
+    @pytest.mark.parametrize("policy", ["P2", "P3", "P4"])
+    def test_gpu_policies_fp32_accuracy(self, policy, lap2d_small):
+        nf, err = solve_and_check(lap2d_small, policy)
+        assert err < 1e-3          # single precision ballpark
+        assert nf.residual_norm(lap2d_small) < 1e-4
+
+    def test_random_spd(self, rand_spd_small):
+        nf, err = solve_and_check(rand_spd_small, "P1")
+        assert err < 1e-9
+
+    def test_3d_problem(self, lap3d_small):
+        nf, err = solve_and_check(lap3d_small, "P1", "nd")
+        assert err < 1e-9
+
+    def test_records_cover_all_supernodes(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P1"))
+        assert len(nf.records) == sf.n_supernodes
+        assert {r.sid for r in nf.records} == set(range(sf.n_supernodes))
+        assert all(r.end >= r.start >= 0 for r in nf.records)
+
+    def test_makespan_increases_with_records(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P1"))
+        assert nf.makespan >= max(r.end for r in nf.records)
+        assert nf.makespan > 0
+
+    def test_peak_update_memory_tracked(self, lap3d_small):
+        sf = symbolic_factorize(lap3d_small, ordering="nd")
+        nf = factorize_numeric(lap3d_small, sf, make_policy("P1"))
+        assert nf.peak_update_bytes > 0
+
+    def test_l_matrix_lower_triangular(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P1"))
+        l = nf.l_matrix()
+        dense = l.to_dense()
+        assert np.allclose(np.triu(dense, 1), 0.0)
+        perm_a = lap2d_small.permute_symmetric(sf.perm).to_dense()
+        assert np.allclose(dense @ dense.T, perm_a, atol=1e-10)
+
+
+class TestTriangularSolves:
+    def test_trsv_forward(self, rng):
+        l = np.tril(rng.normal(size=(50, 50))) + 50 * np.eye(50)
+        b = rng.normal(size=50)
+        assert np.allclose(l @ trsv_lower(l, b), b)
+
+    def test_trsv_backward(self, rng):
+        l = np.tril(rng.normal(size=(50, 50))) + 50 * np.eye(50)
+        b = rng.normal(size=50)
+        assert np.allclose(l.T @ trsv_lower_t(l, b), b)
+
+    def test_trsv_blocked_vs_small_block(self, rng):
+        l = np.tril(rng.normal(size=(40, 40))) + 40 * np.eye(40)
+        b = rng.normal(size=40)
+        assert np.allclose(trsv_lower(l, b, block=4), trsv_lower(l, b, block=64))
+
+    def test_solve_rejects_bad_shape(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P1"))
+        with pytest.raises(ValueError):
+            solve_factored(nf, np.ones(3))
+
+
+class TestRefinement:
+    def test_recovers_double_precision_after_fp32_factor(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P3"))
+        rng = np.random.default_rng(2)
+        x_true = rng.normal(size=lap2d_small.n_rows)
+        b = lap2d_small.matvec(x_true)
+        res = iterative_refinement(lap2d_small, nf, b, tol=1e-12)
+        assert res.final_residual < 1e-11
+        assert res.final_residual < res.initial_residual
+        # the paper: "one or two steps of iterative refinement"
+        assert res.iterations <= 3
+
+    def test_exact_factor_needs_no_iterations(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P1"))
+        b = np.ones(lap2d_small.n_rows)
+        res = iterative_refinement(lap2d_small, nf, b, tol=1e-12)
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_max_iter_respected(self, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering="amd")
+        nf = factorize_numeric(lap2d_small, sf, make_policy("P3"))
+        res = iterative_refinement(
+            lap2d_small, nf, np.ones(lap2d_small.n_rows), tol=0.0, max_iter=2
+        )
+        assert res.iterations <= 2
+
+
+class TestSolverAPI:
+    def test_full_pipeline(self, lap3d_small):
+        s = SparseCholeskySolver(lap3d_small, ordering="nd", policy="baseline")
+        s.analyze().factorize()
+        b = np.ones(lap3d_small.n_rows)
+        x = s.solve(b)
+        assert np.abs(lap3d_small.matvec(x) - b).max() < 1e-9
+        st = s.stats
+        assert st.simulated_seconds > 0
+        assert st.total_flops > 0
+        assert st.n == lap3d_small.n_rows
+        assert sum(st.policy_counts.values()) == st.n_supernodes
+
+    def test_lazy_analyze_and_factorize(self, lap2d_small):
+        s = SparseCholeskySolver(lap2d_small, policy="P1")
+        x = s.solve(np.ones(lap2d_small.n_rows))  # triggers both phases
+        assert s.symbolic is not None and s.factor is not None
+
+    def test_lower_triangle_input_accepted(self, lap2d_small):
+        low = lap2d_small.lower_triangle()
+        s = SparseCholeskySolver(low, policy="P1")
+        x = s.solve(np.ones(lap2d_small.n_rows))
+        assert np.abs(lap2d_small.matvec(x) - 1).max() < 1e-9
+
+    def test_policy_instance_accepted(self, lap2d_small):
+        from repro.policies import BaselineHybrid
+
+        s = SparseCholeskySolver(lap2d_small, policy=BaselineHybrid())
+        s.factorize()
+        assert s.stats.n_supernodes > 0
+
+    def test_stats_before_factorize_raises(self, lap2d_small):
+        s = SparseCholeskySolver(lap2d_small)
+        with pytest.raises(RuntimeError):
+            _ = s.stats
+
+    def test_unknown_policy_rejected(self, lap2d_small):
+        with pytest.raises(ValueError):
+            SparseCholeskySolver(lap2d_small, policy="fastest")
+
+    def test_rejects_nonsquare(self, rng):
+        a = csc_from_dense(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            SparseCholeskySolver(a)
+
+    def test_refinement_off(self, lap2d_small):
+        s = SparseCholeskySolver(lap2d_small, policy="P3")
+        b = np.ones(lap2d_small.n_rows)
+        raw = s.solve(b, refine=False)
+        refined = s.solve(b, refine=True)
+        resid_raw = np.abs(lap2d_small.matvec(raw) - b).max()
+        resid_ref = np.abs(lap2d_small.matvec(refined) - b).max()
+        assert resid_ref < resid_raw
+
+    def test_effective_gflops(self, lap2d_small):
+        s = SparseCholeskySolver(lap2d_small, policy="P1").factorize()
+        assert s.stats.effective_gflops > 0

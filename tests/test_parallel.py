@@ -1,0 +1,143 @@
+"""Parallel scheduling: worker pools, list scheduling, multi-GPU runs."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d
+from repro.multifrontal import solve_factored
+from repro.parallel import list_schedule, make_worker_pool, parallel_factorize
+from repro.policies import BaselineHybrid, make_policy
+from repro.symbolic import symbolic_factorize
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = grid_laplacian_3d(6, 6, 6)
+    return a, symbolic_factorize(a, ordering="nd")
+
+
+class TestWorkerPool:
+    def test_cpu_only_pool(self):
+        pool = make_worker_pool(4, 0)
+        assert pool.n_workers == 4
+        assert pool.n_gpus == 0
+        assert pool.gpu_worker() is None
+
+    def test_mixed_pool(self):
+        pool = make_worker_pool(2, 2)
+        assert pool.n_gpus == 2
+        assert pool.gpu_worker().has_gpu
+        # distinct GPUs per worker
+        assert pool.workers[0].gpu is not pool.workers[1].gpu
+
+    def test_gpu_needs_host_thread(self):
+        with pytest.raises(ValueError):
+            make_worker_pool(1, 2)
+
+
+class TestListSchedule:
+    def test_single_worker_equals_sum(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(1, 0)
+        res = list_schedule(sf, make_policy("P1"), pool, gang_threshold=np.inf)
+        total = sum(t.elapsed for t in res.schedule)
+        assert res.makespan == pytest.approx(total, rel=1e-9)
+
+    def test_dependencies_respected(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(3, 0)
+        res = list_schedule(sf, make_policy("P1"), pool)
+        end = {t.sid: t.end for t in res.schedule}
+        start = {t.sid: t.start for t in res.schedule}
+        kids = sf.schildren()
+        for s in range(sf.n_supernodes):
+            for c in kids[s]:
+                assert end[c] <= start[s] + 1e-12
+
+    def test_more_workers_never_slower(self, problem):
+        a, sf = problem
+        times = []
+        for p in (1, 2, 4):
+            pool = make_worker_pool(p, 0)
+            times.append(
+                list_schedule(sf, make_policy("P1"), pool, gang_threshold=np.inf).makespan
+            )
+        assert times[1] <= times[0] + 1e-12
+        assert times[2] <= times[1] + 1e-12
+
+    def test_4_thread_speedup_in_paper_band(self):
+        # paper Table VII: 4-thread runs achieve ~2.7-4.3x; with gang
+        # scheduling of the root fronts we should land in a similar band
+        a = grid_laplacian_3d(8, 8, 8)
+        sf = symbolic_factorize(a, ordering="nd")
+        serial = list_schedule(sf, make_policy("P1"), make_worker_pool(1, 0)).makespan
+        par = list_schedule(sf, make_policy("P1"), make_worker_pool(4, 0)).makespan
+        speedup = serial / par
+        assert 1.8 < speedup <= 4.0
+
+    def test_gang_scheduling_helps_at_the_root(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(4, 0)
+        with_gang = list_schedule(sf, make_policy("P1"), pool, gang_threshold=1e6)
+        without = list_schedule(sf, make_policy("P1"), pool, gang_threshold=np.inf)
+        assert with_gang.makespan <= without.makespan
+
+    def test_every_supernode_scheduled_once(self, problem):
+        a, sf = problem
+        res = list_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
+        assert sorted(t.sid for t in res.schedule) == list(range(sf.n_supernodes))
+
+    def test_worker_busy_accounting(self, problem):
+        a, sf = problem
+        res = list_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
+        assert len(res.worker_busy) == 2
+        assert 0 < res.utilization() <= 1.0
+
+    def test_hybrid_policy_resolved_per_call(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(1, 1)
+        res = list_schedule(sf, BaselineHybrid(), pool)
+        names = {t.policy for t in res.schedule}
+        assert "P1" in names  # the many small calls
+
+    def test_cpu_only_pool_forces_p1(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(2, 0)
+        res = list_schedule(sf, BaselineHybrid(), pool)
+        assert {t.policy for t in res.schedule} == {"P1"}
+
+
+class TestParallelFactorize:
+    def test_numerics_correct_with_hybrid(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(2, 2)
+        res = parallel_factorize(a, sf, BaselineHybrid(), pool)
+        b = np.ones(a.n_rows)
+        x = solve_factored(res.factor, b)
+        assert np.abs(a.matvec(x) - b).max() < 1e-4  # fp32-touched factor
+
+    def test_numerics_exact_cpu_only(self, problem):
+        a, sf = problem
+        pool = make_worker_pool(4, 0)
+        res = parallel_factorize(a, sf, make_policy("P1"), pool)
+        b = np.ones(a.n_rows)
+        x = solve_factored(res.factor, b)
+        assert np.abs(a.matvec(x) - b).max() < 1e-10
+
+    def test_2gpu_beats_1gpu(self):
+        a = grid_laplacian_3d(8, 8, 8)
+        sf = symbolic_factorize(a, ordering="nd")
+        t1 = list_schedule(sf, BaselineHybrid(), make_worker_pool(1, 1)).makespan
+        t2 = list_schedule(sf, BaselineHybrid(), make_worker_pool(2, 2)).makespan
+        assert t2 < t1
+
+    def test_speedup_vs_helper(self, problem):
+        a, sf = problem
+        res = list_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
+        assert res.speedup_vs(2 * res.makespan) == pytest.approx(2.0)
+
+    def test_schedule_sorted_by_start(self, problem):
+        a, sf = problem
+        res = list_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
+        starts = [t.start for t in res.schedule]
+        assert starts == sorted(starts)

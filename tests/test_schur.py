@@ -1,0 +1,132 @@
+"""Partial factorization / Schur complement."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d, random_spd
+from repro.multifrontal import partial_factorize
+from repro.policies import BaselineHybrid, make_policy
+from repro.symbolic import symbolic_factorize
+
+
+def dense_schur(a, perm, ne):
+    p = a.permute_symmetric(perm).to_dense()
+    a11, a12 = p[:ne, :ne], p[:ne, ne:]
+    a21, a22 = p[ne:, :ne], p[ne:, ne:]
+    return a22 - a21 @ np.linalg.solve(a11, a12)
+
+
+class TestSchurCorrectness:
+    @pytest.mark.parametrize("frac", [0.25, 0.5, 0.75])
+    def test_matches_dense_reference(self, frac):
+        a = grid_laplacian_2d(7, 7)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), int(frac * sf.n))
+        ref = dense_schur(a, sf.perm, pf.n_eliminated)
+        assert np.abs(pf.schur - ref).max() < 1e-10
+
+    def test_random_spd(self):
+        a = random_spd(80, seed=7)
+        sf = symbolic_factorize(a, ordering="amd")
+        pf = partial_factorize(a, sf, make_policy("P1"), 40)
+        ref = dense_schur(a, sf.perm, pf.n_eliminated)
+        assert np.abs(pf.schur - ref).max() < 1e-9
+
+    def test_schur_is_spd(self):
+        # Schur complements of SPD matrices are SPD
+        a = grid_laplacian_3d(5, 5, 5)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n // 2)
+        w = np.linalg.eigvalsh((pf.schur + pf.schur.T) / 2)
+        assert w.min() > 0
+
+    def test_gpu_policy_fp32_schur(self):
+        a = grid_laplacian_2d(8, 8)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P3"), sf.n // 2)
+        ref = dense_schur(a, sf.perm, pf.n_eliminated)
+        err = np.abs(pf.schur - ref).max()
+        assert err < 1e-2            # fp32 ballpark
+        assert err > 0               # and really touched by fp32
+
+    def test_hybrid_policy(self):
+        a = grid_laplacian_3d(5, 5, 5)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, BaselineHybrid(), sf.n // 3)
+        ref = dense_schur(a, sf.perm, pf.n_eliminated)
+        assert np.abs(pf.schur - ref).max() < 1e-2
+
+
+class TestBoundaries:
+    def test_zero_elimination(self):
+        a = grid_laplacian_2d(5, 5)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), 0)
+        assert pf.n_eliminated == 0
+        assert np.allclose(
+            pf.schur, a.permute_symmetric(sf.perm).to_dense()
+        )
+        assert not pf.records
+
+    def test_full_elimination_gives_empty_schur(self):
+        a = grid_laplacian_2d(5, 5)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n)
+        assert pf.n_eliminated == sf.n
+        assert pf.schur_order == 0
+        assert len(pf.records) == sf.n_supernodes
+
+    def test_boundary_snaps_to_supernode_edge(self):
+        a = grid_laplacian_2d(6, 6)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n // 2)
+        assert pf.n_eliminated in set(sf.super_ptr.tolist())
+        assert pf.n_eliminated <= sf.n // 2
+
+    def test_out_of_range_rejected(self):
+        a = grid_laplacian_2d(4, 4)
+        sf = symbolic_factorize(a, ordering="nd")
+        with pytest.raises(ValueError):
+            partial_factorize(a, sf, make_policy("P1"), sf.n + 1)
+
+    def test_timing_recorded(self):
+        a = grid_laplacian_2d(6, 6)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n // 2)
+        assert pf.makespan > 0
+        assert all(r.end >= r.start for r in pf.records)
+
+
+class TestSolveWithSchur:
+    def test_matches_direct_solve(self):
+        from repro.multifrontal import factorize_numeric, solve_factored
+        from repro.multifrontal.schur import solve_with_schur
+
+        a = grid_laplacian_3d(5, 5, 5)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n // 2)
+        nf = factorize_numeric(a, sf, make_policy("P1"))
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=a.n_rows)
+        x_dd = solve_with_schur(pf, sf, b)
+        x_full = solve_factored(nf, b)
+        assert np.abs(x_dd - x_full).max() < 1e-9
+
+    def test_zero_elimination_degenerates_to_dense_solve(self):
+        from repro.multifrontal.schur import solve_with_schur
+
+        a = grid_laplacian_2d(4, 4)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), 0)
+        b = np.ones(a.n_rows)
+        x = solve_with_schur(pf, sf, b)
+        assert np.abs(a.matvec(x) - b).max() < 1e-10
+
+    def test_full_elimination_unsupported_shape_guard(self):
+        from repro.multifrontal.schur import solve_with_schur
+
+        a = grid_laplacian_2d(4, 4)
+        sf = symbolic_factorize(a, ordering="nd")
+        pf = partial_factorize(a, sf, make_policy("P1"), sf.n // 2)
+        with pytest.raises(ValueError):
+            solve_with_schur(pf, sf, np.ones(3))

@@ -1,0 +1,85 @@
+"""Cross-validation against SciPy (an independent reference).
+
+The core library is numpy-only by design; these tests use scipy purely
+as an *oracle* — its sparse Cholesky-backed solves, its orderings'
+quality, its matrix conversions — to check ours from a codebase we
+didn't write.
+"""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+from scipy.sparse.csgraph import reverse_cuthill_mckee as scipy_rcm
+from scipy.sparse.linalg import spsolve
+
+from repro import SparseCholeskySolver, elasticity_3d, grid_laplacian_3d, random_spd
+from repro.matrices import grid_laplacian_2d
+from repro.ordering import reverse_cuthill_mckee
+
+
+def to_scipy(a):
+    return scipy_sparse.csc_matrix(
+        (a.data, a.indices, a.indptr), shape=a.shape
+    )
+
+
+class TestSolveAgainstScipy:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: grid_laplacian_2d(9, 9),
+            lambda: grid_laplacian_3d(6, 6, 6),
+            lambda: elasticity_3d(4, 4, 4),
+            lambda: random_spd(150, seed=3),
+        ],
+        ids=["lap2d", "lap3d", "elasticity", "random"],
+    )
+    def test_solution_matches_spsolve(self, builder):
+        a = builder()
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=a.n_rows)
+        ours = SparseCholeskySolver(a, ordering="nd", policy="P1").solve(b)
+        ref = spsolve(to_scipy(a), b)
+        assert np.abs(ours - ref).max() / (np.abs(ref).max() + 1) < 1e-9
+
+    def test_gpu_policy_plus_refinement_matches_spsolve(self):
+        a = grid_laplacian_3d(6, 6, 6)
+        b = np.ones(a.n_rows)
+        ours = SparseCholeskySolver(a, ordering="nd", policy="P3").solve(b)
+        ref = spsolve(to_scipy(a), b)
+        assert np.abs(ours - ref).max() < 1e-8
+
+    def test_matvec_matches_scipy(self):
+        a = random_spd(200, seed=8)
+        x = np.random.default_rng(1).normal(size=200)
+        assert np.allclose(a.matvec(x), to_scipy(a) @ x)
+
+    def test_logdet_matches_scipy_lu(self):
+        from scipy.sparse.linalg import splu
+
+        a = random_spd(100, seed=4)
+        s = SparseCholeskySolver(a, policy="P1").factorize()
+        lu = splu(to_scipy(a).tocsc())
+        ref = np.log(np.abs(lu.U.diagonal())).sum() + np.log(
+            np.abs(lu.L.diagonal())
+        ).sum()
+        assert s.log_determinant() == pytest.approx(ref, rel=1e-8)
+
+
+class TestOrderingAgainstScipy:
+    def test_rcm_bandwidth_comparable_to_scipy(self):
+        a = random_spd(300, seed=5)
+        sp = to_scipy(a)
+
+        def bandwidth(perm):
+            p = a.permute_symmetric(np.asarray(perm, dtype=np.int64))
+            col = np.repeat(
+                np.arange(p.n_cols, dtype=np.int64), np.diff(p.indptr)
+            )
+            return int(np.abs(p.indices - col).max())
+
+        ours = bandwidth(reverse_cuthill_mckee(a))
+        theirs = bandwidth(scipy_rcm(sp.tocsr()))
+        # same algorithm family: within 40% of scipy's bandwidth
+        assert ours <= theirs * 1.4

@@ -1,0 +1,55 @@
+"""Solve-phase timing model."""
+
+import pytest
+
+from repro.multifrontal.solve_sim import simulate_solve
+from repro.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return paper_workload("lmco")
+
+
+class TestSolveSim:
+    def test_cpu_solve_is_bandwidth_bound(self, wl, model):
+        est = simulate_solve(wl, model, nrhs=1, device="cpu")
+        # one sweep reads nnz(L) doubles; two sweeps
+        assert est.seconds == pytest.approx(
+            2 * wl.nnz_factor * 8 / model.cpu_mem_bw, rel=0.5
+        )
+
+    def test_gpu_single_rhs_loses_without_residency(self, model):
+        # many-supernode structure: per-supernode launch latency plus the
+        # panel upload dwarf the (bandwidth-bound) sweep itself
+        wl = paper_workload("kyushu")
+        cpu = simulate_solve(wl, model, nrhs=1, device="cpu")
+        gpu = simulate_solve(wl, model, nrhs=1, device="gpu")
+        assert gpu.seconds > cpu.seconds
+        assert gpu.transfer_seconds > 0.5 * gpu.seconds - 1e-9 or gpu.seconds > cpu.seconds
+
+    def test_residency_flips_the_decision(self, wl, model):
+        gpu_cold = simulate_solve(wl, model, nrhs=1, device="gpu")
+        gpu_res = simulate_solve(
+            wl, model, nrhs=1, device="gpu", panels_resident=True
+        )
+        assert gpu_res.seconds < gpu_cold.seconds
+        assert gpu_res.transfer_seconds < gpu_cold.transfer_seconds
+
+    def test_many_rhs_amortize_the_upload(self, wl, model):
+        cpu = simulate_solve(wl, model, nrhs=256, device="cpu")
+        gpu = simulate_solve(wl, model, nrhs=256, device="gpu")
+        # panel upload is paid once for 256 sweeps of work
+        assert gpu.seconds < cpu.seconds
+
+    def test_nrhs_scaling_cpu(self, wl, model):
+        t1 = simulate_solve(wl, model, nrhs=1, device="cpu").seconds
+        t64 = simulate_solve(wl, model, nrhs=64, device="cpu").seconds
+        # bandwidth-bound until the flops take over
+        assert t64 >= t1
+
+    def test_validation(self, wl, model):
+        with pytest.raises(ValueError):
+            simulate_solve(wl, model, nrhs=0)
+        with pytest.raises(ValueError):
+            simulate_solve(wl, model, device="tpu")

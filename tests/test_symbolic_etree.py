@@ -1,0 +1,111 @@
+"""Elimination tree construction and traversal."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.csc import csc_from_dense
+from repro.matrices import grid_laplacian_2d, random_spd
+from repro.symbolic import elimination_tree, postorder
+from repro.symbolic.etree import NO_PARENT
+
+
+def arrow_matrix(n=6):
+    """Arrow pointing down-right: dense last row/col + diagonal."""
+    d = np.eye(n) * 4.0
+    d[-1, :] = d[:, -1] = -1.0
+    d[-1, -1] = float(n)
+    return csc_from_dense(d)
+
+
+def reference_parent(a):
+    """Brute-force etree: factor densely, parent(j) = min{i>j: L[i,j]!=0}."""
+    l = np.linalg.cholesky(a.to_dense())
+    n = l.shape[0]
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(np.abs(l[j + 1:, j]) > 1e-12)
+        if below.size:
+            parent[j] = j + 1 + below[0]
+    return parent
+
+
+class TestParents:
+    def test_arrow_all_point_to_last(self):
+        tree = elimination_tree(arrow_matrix(6))
+        assert np.array_equal(tree.parent[:-1], np.full(5, 5))
+        assert tree.parent[-1] == NO_PARENT
+
+    def test_matches_bruteforce_on_laplacian(self):
+        a = grid_laplacian_2d(5, 4)
+        tree = elimination_tree(a)
+        assert np.array_equal(tree.parent, reference_parent(a))
+
+    def test_matches_bruteforce_on_random(self):
+        a = random_spd(40, seed=11)
+        tree = elimination_tree(a)
+        assert np.array_equal(tree.parent, reference_parent(a))
+
+    def test_lower_storage_accepted(self):
+        a = grid_laplacian_2d(4, 4)
+        t_full = elimination_tree(a)
+        t_low = elimination_tree(a.lower_triangle())
+        assert np.array_equal(t_full.parent, t_low.parent)
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        a = csc_from_dense(np.eye(5))
+        tree = elimination_tree(a)
+        assert (tree.parent == NO_PARENT).all()
+        assert len(tree.roots()) == 5
+
+    def test_parents_exceed_children(self):
+        a = random_spd(60, seed=4)
+        tree = elimination_tree(a)
+        j = np.arange(60)
+        has_parent = tree.parent != NO_PARENT
+        assert (tree.parent[has_parent] > j[has_parent]).all()
+
+    def test_requires_square(self, rng):
+        a = csc_from_dense(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            elimination_tree(a)
+
+
+class TestPostorder:
+    def test_children_before_parents(self):
+        a = random_spd(50, seed=7)
+        tree = elimination_tree(a)
+        position = np.empty(50, dtype=int)
+        position[tree.post] = np.arange(50)
+        for j in range(50):
+            p = tree.parent[j]
+            if p != NO_PARENT:
+                assert position[j] < position[p]
+
+    def test_postorder_is_permutation(self):
+        a = grid_laplacian_2d(6, 6)
+        tree = elimination_tree(a)
+        assert np.array_equal(np.sort(tree.post), np.arange(36))
+
+    def test_invalid_parent_array_raises(self):
+        # a cycle is not a forest
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0]))
+
+    def test_children_lists(self):
+        tree = elimination_tree(arrow_matrix(5))
+        assert tree.children(4) == [0, 1, 2, 3]
+        assert tree.children(0) == []
+
+
+class TestDerived:
+    def test_depths(self):
+        tree = elimination_tree(arrow_matrix(4))
+        d = tree.depths()
+        assert d[3] == 0
+        assert (d[:3] == 1).all()
+
+    def test_subtree_sizes(self):
+        tree = elimination_tree(arrow_matrix(4))
+        sizes = tree.subtree_sizes()
+        assert sizes[3] == 4
+        assert (sizes[:3] == 1).all()

@@ -1,0 +1,91 @@
+"""Update-stack analysis and Liu's stack-minimizing traversal."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_3d, random_spd
+from repro.multifrontal import factorize_numeric
+from repro.policies import make_policy
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.stack import (
+    estimate_peak_update_bytes,
+    stack_minimizing_postorder,
+    update_bytes,
+)
+from repro.workload import geometric_nd_workload
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return symbolic_factorize(grid_laplacian_3d(8, 8, 8), ordering="nd")
+
+
+class TestEstimate:
+    def test_matches_numeric_driver(self, sf, lap3d_small):
+        sf2 = symbolic_factorize(lap3d_small, ordering="nd")
+        nf = factorize_numeric(lap3d_small, sf2, make_policy("P1"))
+        assert estimate_peak_update_bytes(sf2) == nf.peak_update_bytes
+
+    def test_custom_schedule_matches_numeric_driver(self, lap3d_small):
+        sf2 = symbolic_factorize(lap3d_small, ordering="nd")
+        spost = stack_minimizing_postorder(sf2)
+        est = estimate_peak_update_bytes(sf2, spost)
+        nf = factorize_numeric(lap3d_small, sf2, make_policy("P1"), spost=spost)
+        assert est == nf.peak_update_bytes
+
+    def test_invalid_schedule_rejected(self, sf):
+        # parents before children leak updates
+        bad = sf.spost[::-1].copy()
+        with pytest.raises((ValueError, KeyError)):
+            estimate_peak_update_bytes(sf, bad)
+
+    def test_update_bytes(self, sf):
+        for s in range(sf.n_supernodes):
+            m = sf.update_size(s)
+            assert update_bytes(sf, s) == m * m * 8
+
+
+class TestOptimizedOrder:
+    def test_is_valid_postorder(self, sf):
+        spost = stack_minimizing_postorder(sf)
+        assert np.array_equal(np.sort(spost), np.arange(sf.n_supernodes))
+        seen = set()
+        kids = sf.schildren()
+        for s in spost:
+            for c in kids[int(s)]:
+                assert c in seen
+            seen.add(int(s))
+
+    def test_never_worse_than_default(self):
+        for seed in (1, 2, 3):
+            a = random_spd(150, seed=seed, avg_degree=5)
+            sf2 = symbolic_factorize(a, ordering="amd")
+            default = estimate_peak_update_bytes(sf2)
+            optimized = estimate_peak_update_bytes(
+                sf2, stack_minimizing_postorder(sf2)
+            )
+            assert optimized <= default
+
+    def test_improves_on_imbalanced_trees(self):
+        # elongated boxes produce sibling subtrees of very different
+        # weights, where visiting order matters
+        sf2 = geometric_nd_workload(8, 8, 64, leaf_cells=8)
+        default = estimate_peak_update_bytes(sf2)
+        optimized = estimate_peak_update_bytes(
+            sf2, stack_minimizing_postorder(sf2)
+        )
+        assert optimized <= default
+
+    def test_numeric_result_independent_of_schedule(self, lap3d_small):
+        sf2 = symbolic_factorize(lap3d_small, ordering="nd")
+        nf_a = factorize_numeric(lap3d_small, sf2, make_policy("P1"))
+        nf_b = factorize_numeric(
+            lap3d_small, sf2, make_policy("P1"),
+            spost=stack_minimizing_postorder(sf2),
+        )
+        from repro.multifrontal import solve_factored
+
+        b = np.ones(lap3d_small.n_rows)
+        assert np.allclose(
+            solve_factored(nf_a, b), solve_factored(nf_b, b), atol=1e-12
+        )

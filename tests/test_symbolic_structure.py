@@ -1,0 +1,194 @@
+"""Column patterns, supernodes, amalgamation, and the full SymbolicFactor."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d, random_spd
+from repro.matrices.csc import csc_from_dense
+from repro.symbolic import (
+    AmalgamationParams,
+    amalgamate,
+    column_counts,
+    column_patterns,
+    elimination_tree,
+    fundamental_supernodes,
+    symbolic_factorize,
+)
+from repro.symbolic.symbolic import factor_update_flops
+
+
+def true_pattern(a, perm=None):
+    d = a.to_dense() if perm is None else a.permute_symmetric(perm).to_dense()
+    l = np.linalg.cholesky(d)
+    return np.abs(l) > 1e-12
+
+
+class TestColumnPatterns:
+    @pytest.mark.parametrize(
+        "matrix", ["lap2d", "rand"], ids=["laplacian", "random"]
+    )
+    def test_exact_fill_pattern(self, matrix, lap2d_small, rand_spd_small):
+        a = lap2d_small if matrix == "lap2d" else rand_spd_small
+        tree = elimination_tree(a)
+        patterns = column_patterns(a, tree.parent)
+        ref = true_pattern(a)
+        n = a.n_rows
+        for j in range(n):
+            expected = np.flatnonzero(ref[:, j])
+            expected = expected[expected > j]
+            # SPD Cholesky has no exact cancellation, so symbolic == true
+            assert np.array_equal(patterns[j], expected), f"column {j}"
+
+    def test_counts_match_patterns(self, lap2d_small):
+        tree = elimination_tree(lap2d_small)
+        pats = column_patterns(lap2d_small, tree.parent)
+        cnts = column_counts(lap2d_small, tree.parent)
+        assert np.array_equal(cnts, [p.size + 1 for p in pats])
+
+    def test_diagonal_matrix(self):
+        a = csc_from_dense(np.eye(4) * 2)
+        tree = elimination_tree(a)
+        pats = column_patterns(a, tree.parent)
+        assert all(p.size == 0 for p in pats)
+
+
+class TestFundamentalSupernodes:
+    def test_dense_block_is_one_supernode(self):
+        d = np.full((5, 5), -1.0) + 7 * np.eye(5)
+        a = csc_from_dense(d)
+        tree = elimination_tree(a)
+        cnts = column_counts(a, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        assert np.array_equal(ptr, [0, 5])
+
+    def test_diagonal_matrix_all_singletons(self):
+        a = csc_from_dense(np.eye(4))
+        tree = elimination_tree(a)
+        cnts = column_counts(a, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        assert np.array_equal(ptr, [0, 1, 2, 3, 4])
+
+    def test_partition_is_contiguous_and_complete(self, lap2d_small):
+        tree = elimination_tree(lap2d_small)
+        cnts = column_counts(lap2d_small, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        assert ptr[0] == 0 and ptr[-1] == lap2d_small.n_rows
+        assert (np.diff(ptr) > 0).all()
+
+    def test_empty(self):
+        ptr = fundamental_supernodes(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(ptr, [0])
+
+
+class TestAmalgamation:
+    def test_disabled_returns_input(self, lap2d_small):
+        tree = elimination_tree(lap2d_small)
+        cnts = column_counts(lap2d_small, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        out = amalgamate(ptr, tree.parent, cnts, AmalgamationParams(max_width=0))
+        assert np.array_equal(out, ptr)
+
+    def test_reduces_supernode_count(self):
+        a = grid_laplacian_2d(9, 9)
+        tree = elimination_tree(a)
+        cnts = column_counts(a, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        out = amalgamate(ptr, tree.parent, cnts)
+        assert out.size <= ptr.size
+        assert out[0] == 0 and out[-1] == ptr[-1]
+        assert (np.diff(out) > 0).all()
+
+    def test_boundaries_subset_of_fundamental(self):
+        # amalgamation only merges: every remaining boundary was a
+        # fundamental boundary
+        a = random_spd(90, seed=5)
+        tree = elimination_tree(a)
+        cnts = column_counts(a, tree.parent)
+        ptr = fundamental_supernodes(tree.parent, cnts)
+        out = amalgamate(ptr, tree.parent, cnts)
+        assert set(out.tolist()) <= set(ptr.tolist())
+
+
+class TestSymbolicFactor:
+    @pytest.mark.parametrize("ordering", ["natural", "amd", "nd"])
+    def test_pattern_superset_and_validates(self, ordering, lap2d_small):
+        sf = symbolic_factorize(lap2d_small, ordering=ordering)
+        sf.validate()
+        ref = true_pattern(lap2d_small, sf.perm)
+        ours = np.zeros_like(ref)
+        for s in range(sf.n_supernodes):
+            f, l = int(sf.super_ptr[s]), int(sf.super_ptr[s + 1])
+            for j in range(f, l):
+                rr = sf.rows[s][sf.rows[s] >= j]
+                ours[rr, j] = True
+        assert not (ref & ~ours).any()
+
+    def test_no_amalgamation_gives_exact_nnz(self, lap2d_small):
+        sf = symbolic_factorize(
+            lap2d_small, ordering="amd",
+            amalgamation=AmalgamationParams(max_width=0),
+        )
+        assert sf.nnz_factor == int(true_pattern(lap2d_small, sf.perm).sum())
+
+    def test_amalgamation_adds_bounded_zeros(self, lap2d_small):
+        exact = symbolic_factorize(
+            lap2d_small, ordering="amd",
+            amalgamation=AmalgamationParams(max_width=0),
+        )
+        relaxed = symbolic_factorize(lap2d_small, ordering="amd")
+        assert relaxed.n_supernodes <= exact.n_supernodes
+        assert relaxed.nnz_factor >= exact.nnz_factor
+        # zeros stay within a small multiple of the exact factor
+        assert relaxed.nnz_factor <= 2.0 * exact.nnz_factor
+
+    def test_mk_pairs_consistent(self, sf_lap3d):
+        mk = sf_lap3d.mk_pairs()
+        assert mk.shape == (sf_lap3d.n_supernodes, 2)
+        for s in range(sf_lap3d.n_supernodes):
+            assert mk[s, 1] == sf_lap3d.width(s)
+            assert mk[s, 0] == sf_lap3d.update_size(s)
+        assert (mk[:, 1] >= 1).all()
+        assert (mk[:, 0] >= 0).all()
+
+    def test_total_flops_positive_and_additive(self, sf_lap3d):
+        total = sf_lap3d.total_flops()
+        manual = sum(
+            sum(factor_update_flops(int(m), int(k)))
+            for m, k in sf_lap3d.mk_pairs()
+        )
+        assert total == pytest.approx(manual)
+        assert total > 0
+
+    def test_nnz_by_column_sums_to_nnz_factor(self, sf_lap3d):
+        assert sf_lap3d.factor_nnz_by_column().sum() == sf_lap3d.nnz_factor
+
+    def test_roots_have_no_update(self, sf_lap3d):
+        for s in range(sf_lap3d.n_supernodes):
+            if sf_lap3d.sparent[s] == -1:
+                assert sf_lap3d.update_size(s) == 0
+
+    def test_spost_is_valid_schedule(self, sf_lap3d):
+        seen = set()
+        for s in sf_lap3d.spost:
+            for c in sf_lap3d.schildren()[int(s)]:
+                assert c in seen
+            seen.add(int(s))
+
+    def test_custom_permutation(self, lap2d_small):
+        perm = np.arange(lap2d_small.n_rows)[::-1].copy()
+        sf = symbolic_factorize(lap2d_small, perm=perm)
+        sf.validate()
+        assert sf.ordering == "custom"
+
+    def test_rejects_nonsquare(self, rng):
+        a = csc_from_dense(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            symbolic_factorize(a)
+
+    def test_flop_counts_formulas(self):
+        np_, nt, ns = factor_update_flops(10, 4)
+        assert np_ == pytest.approx(4**3 / 3)
+        assert nt == pytest.approx(10 * 16)
+        assert ns == pytest.approx(100 * 4)
