@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     python -m repro solve a.mtx --policy model
     python -m repro policies --m 2000 --k 800  # per-policy call costs
     python -m repro train --samples 400 --out clf.json
+    python -m repro serve-bench --requests 60  # solver-service benchmark
 
 Every subcommand prints plain text and returns a process exit code, so
 the tool scripts cleanly.
@@ -196,6 +197,98 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _serve_bench_stream(n_patterns: int, n_requests: int):
+    """Synthetic repeated-pattern request stream for ``serve-bench``.
+
+    ``n_patterns`` distinct sparsity patterns cycle round-robin; each
+    pattern alternates between a small set of value variants (the same
+    SPD matrix scaled by a constant), so a long stream exercises all
+    three cache outcomes: misses (first sighting), symbolic hits (known
+    pattern, new values) and numeric hits (exact repeats).
+    """
+    from repro.matrices import grid_laplacian_2d
+    from repro.matrices.csc import CSCMatrix
+
+    patterns = [grid_laplacian_2d(8 + 2 * p, 9 + p) for p in range(n_patterns)]
+    variants: list[dict[int, CSCMatrix]] = [{} for _ in patterns]
+    stream = []
+    for i in range(n_requests):
+        p = i % n_patterns
+        v = (i // n_patterns) % 3          # 3 value variants per pattern
+        if v not in variants[p]:
+            base = patterns[p]
+            variants[p][v] = CSCMatrix(
+                base.shape, base.indptr, base.indices,
+                base.data * (1.0 + 0.5 * v), check=False,
+            )
+        stream.append(variants[p][v])
+    return stream
+
+
+def cmd_serve_bench(args) -> int:
+    import time
+
+    from repro.analysis import format_table
+    from repro.service import SolverService
+
+    if args.requests < 1 or args.patterns < 1:
+        print("serve-bench: need at least one pattern and one request")
+        return 2
+    stream = _serve_bench_stream(args.patterns, args.requests)
+    with SolverService(
+        n_workers=args.workers,
+        policy=args.policy,
+        ordering=args.ordering,
+        batch_window=args.batch_window,
+        max_cache_bytes=args.cache_mb << 20,
+    ) as svc:
+        t0 = time.perf_counter()
+        requests = [svc.submit(a, np.ones(a.n_rows)) for a in stream]
+        outcomes = [r.result(timeout=300.0) for r in requests]
+        wall = time.perf_counter() - t0
+        if args.trace:
+            svc.metrics.write_chrome_trace(args.trace)
+        rep = svc.report()
+
+    cache = rep["cache"]
+    total = rep["latency"]["total"]
+    tiers = {"miss": 0, "symbolic": 0, "numeric": 0, "batched": 0}
+    for o in outcomes:
+        tiers[o.tier] += 1
+    n = len(outcomes)
+    # request-level symbolic-tier hit rate: requests served without a
+    # fresh symbolic analysis (cache hits + requests batched onto an
+    # in-flight factor)
+    sym_rate = (n - tiers["miss"]) / n if n else 0.0
+    batched = sum(1 for o in outcomes if o.batch_size > 1)
+    rows = [
+        ["requests", n],
+        ["workers", args.workers],
+        ["throughput (req/s)", f"{n / wall:.1f}"],
+        ["p50 latency (ms)", f"{total['p50'] * 1e3:.2f}"],
+        ["p95 latency (ms)", f"{total['p95'] * 1e3:.2f}"],
+        ["mean latency (ms)", f"{total['mean'] * 1e3:.2f}"],
+        ["cold misses (fresh analyses)", tiers["miss"]],
+        ["symbolic-tier hit rate", f"{100 * sym_rate:.1f}%"],
+        ["numeric-tier reuse", tiers["numeric"] + tiers["batched"]],
+        ["cache symbolic/numeric hits",
+         f"{cache['symbolic_hits']}/{cache['numeric_hits']}"],
+        ["numeric factorizations", rep["counters"].get("numeric_factorizations", 0)],
+        ["requests in shared batches", batched],
+        ["cache evictions", cache["evictions"]],
+        ["cache bytes", cache["stored_bytes"]],
+        ["degraded (CPU fallback)", rep["counters"].get("degraded", 0)],
+        ["timeouts", rep["counters"].get("timeouts", 0)],
+    ]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"serve-bench: {args.patterns} patterns x {args.requests} requests",
+    ))
+    if args.trace:
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -245,6 +338,24 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--noise", type=float, default=0.05)
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--out", default="")
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="replay a synthetic request stream through the solver service",
+    )
+    sb.add_argument("--patterns", type=int, default=3,
+                    help="distinct sparsity patterns in the stream")
+    sb.add_argument("--requests", type=int, default=60)
+    sb.add_argument("--workers", type=int, default=2)
+    sb.add_argument("--policy", default="P1")
+    sb.add_argument("--ordering", default="amd",
+                    choices=("natural", "amd", "rcm", "nd"))
+    sb.add_argument("--batch-window", type=float, default=0.0,
+                    help="seconds a worker waits for same-factor stragglers")
+    sb.add_argument("--cache-mb", type=int, default=256,
+                    help="factorization-cache budget in MiB")
+    sb.add_argument("--trace", default="",
+                    help="write per-request Chrome-trace slices to this path")
     return p
 
 
@@ -256,6 +367,7 @@ _COMMANDS = {
     "solve": cmd_solve,
     "policies": cmd_policies,
     "train": cmd_train,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -33,20 +33,44 @@ _CATEGORY_COLOR = {
 }
 
 
+def _engine_rank(engine: str) -> int:
+    """Position of the engine's kind in :data:`_ENGINE_ORDER`.
+
+    Kinds match on any dot-separated component (``"cpu0"``,
+    ``"gpu1.h2d"``, ``"rank0.nic"``); unknown kinds sort after all
+    known ones.
+    """
+    for i, kind in enumerate(_ENGINE_ORDER):
+        if any(part.startswith(kind) for part in engine.split(".")):
+            return i
+    return len(_ENGINE_ORDER)
+
+
 def tasks_to_chrome_trace(
     tasks: Iterable[SimTask], *, time_unit: float = 1e6
 ) -> dict:
     """Convert scheduled tasks to a Chrome Trace Event Format dict.
 
     ``time_unit`` scales simulated seconds into trace microseconds
-    (default: 1 simulated second = 1 trace second).
+    (default: 1 simulated second = 1 trace second).  Engine rows are
+    grouped by kind in :data:`_ENGINE_ORDER` (all CPUs, then GPUs, then
+    NICs), alphabetically within a kind, regardless of which engine's
+    task happens to appear first in the stream.
     """
-    engines: dict[str, int] = {}
-    events = []
+    tasks = list(tasks)
     for t in tasks:
         if not t.scheduled:
             raise ValueError(f"task {t.name!r} is not scheduled yet")
-        tid = engines.setdefault(t.engine, len(engines))
+    engines = {
+        name: tid
+        for tid, name in enumerate(
+            sorted({t.engine for t in tasks},
+                   key=lambda n: (_engine_rank(n), n))
+        )
+    }
+    events = []
+    for t in tasks:
+        tid = engines[t.engine]
         event = {
             "name": t.name,
             "cat": t.category,

@@ -103,6 +103,41 @@ class SparseCholeskySolver:
         return self._policy
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_symbolic(
+        cls,
+        a: CSCMatrix,
+        symbolic: SymbolicFactor,
+        *,
+        policy: str | Policy = "P1",
+        node: SimulatedNode | None = None,
+        classifier=None,
+    ) -> "SparseCholeskySolver":
+        """Build a solver around an existing symbolic factorization.
+
+        The expensive ordering + analysis step is skipped entirely: only
+        the numeric factorization (and solves) remain.  ``symbolic``
+        must come from a matrix with the same sparsity pattern as ``a``
+        (same canonical full-symmetric structure) — the caller is
+        responsible for that invariant; the serving layer guarantees it
+        by keying symbolic factors on a canonical pattern hash.
+        """
+        self = cls(
+            a,
+            ordering=symbolic.ordering,
+            policy=policy,
+            node=node,
+            amalgamation=symbolic.amalgamation,
+            classifier=classifier,
+        )
+        if symbolic.n != self.a.n_rows:
+            raise ValueError(
+                f"symbolic factor is for n={symbolic.n}, matrix has "
+                f"n={self.a.n_rows}"
+            )
+        self.symbolic = symbolic
+        return self
+
     def analyze(self) -> "SparseCholeskySolver":
         """Run ordering + symbolic factorization."""
         self.symbolic = symbolic_factorize(
@@ -172,6 +207,37 @@ class SparseCholeskySolver:
         if self.symbolic is not None:
             self.factor = None
             self.factorize()
+        return self
+
+    def refactorize(self, values) -> "SparseCholeskySolver":
+        """Re-run the numeric factorization with new matrix values against
+        the existing symbolic factor — the fast path for Newton iterations
+        and time stepping, and the primitive behind the serving layer's
+        symbolic cache tier.
+
+        ``values`` is either a :class:`CSCMatrix` with the same nonzero
+        pattern as the original matrix, or a 1-D array of new values
+        aligned with the solver's canonical full-symmetric storage
+        (``self.a.data``).
+        """
+        if isinstance(values, CSCMatrix):
+            self.update_values(values)
+            if self.factor is None:
+                self.factorize()
+            return self
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.a.data.shape:
+            raise ValueError(
+                f"values must align with the canonical storage "
+                f"({self.a.data.shape}), got {values.shape}"
+            )
+        self.a = CSCMatrix(
+            self.a.shape, self.a.indptr, self.a.indices, values, check=False
+        )
+        if self.symbolic is None:
+            self.analyze()
+        self.factor = None
+        self.factorize()
         return self
 
     def log_determinant(self) -> float:

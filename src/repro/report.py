@@ -50,6 +50,7 @@ _ORDER = [
     "extension_device_resident",
     "extension_cluster",
     "extension_solve_phase",
+    "extension_serving",
 ]
 
 

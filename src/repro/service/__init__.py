@@ -1,0 +1,51 @@
+"""Solver-as-a-service: factorization reuse, concurrency, observability.
+
+The serving layer on top of :class:`~repro.multifrontal.solver.
+SparseCholeskySolver` — the production face of the paper's motivating
+observation that a factorization can be amortized over many solves:
+
+* :mod:`repro.service.keys` — canonical pattern/values hashes of a matrix;
+* :mod:`repro.service.cache` — two-tier (symbolic / numeric) LRU cache
+  bounded by an estimated-bytes budget;
+* :mod:`repro.service.batching` — multi-RHS aggregation of requests that
+  share a cached factor;
+* :mod:`repro.service.service` — the concurrent :class:`SolverService`
+  front-end (request queue, worker pool, deadlines, CPU fallback);
+* :mod:`repro.service.metrics` — latency histograms, counters and
+  Chrome-trace spans for every request.
+"""
+
+from repro.service.batching import BatchPlan
+from repro.service.cache import (
+    CacheLookup,
+    FactorizationCache,
+    numeric_nbytes,
+    symbolic_nbytes,
+)
+from repro.service.keys import (
+    MatrixKey,
+    canonicalize,
+    matrix_key,
+    pattern_key,
+    values_key,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.service import SolveOutcome, SolveRequest, SolverService
+
+__all__ = [
+    "BatchPlan",
+    "CacheLookup",
+    "FactorizationCache",
+    "numeric_nbytes",
+    "symbolic_nbytes",
+    "MatrixKey",
+    "canonicalize",
+    "matrix_key",
+    "pattern_key",
+    "values_key",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "SolveOutcome",
+    "SolveRequest",
+    "SolverService",
+]

@@ -1,0 +1,186 @@
+"""Two-tier LRU factorization cache bounded by an estimated-bytes budget.
+
+The paper motivates direct methods with "the potential for reusing the
+factorization when solving multiple systems with the same coefficient
+matrix"; this cache is that reuse made explicit, in two tiers:
+
+* **symbolic tier** — keyed by the sparsity-pattern hash (plus ordering
+  and amalgamation settings).  A hit skips the expensive ordering +
+  symbolic analysis and re-runs only the numeric factorization — the
+  Newton-iteration / time-stepping fast path.
+* **numeric tier** — keyed by the values hash (plus policy).  A hit
+  skips *all* factorization work and goes straight to the triangular
+  solves.
+
+Both tiers share one LRU list and one byte budget, so a burst of large
+numeric factors evicts cold symbolic entries too (and vice versa).
+Sizes are estimated from the stored arrays (factor panels, supernode
+row lists); an entry larger than the whole budget is rejected rather
+than inserted-then-evicted.  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = [
+    "CacheLookup",
+    "FactorizationCache",
+    "symbolic_nbytes",
+    "numeric_nbytes",
+]
+
+
+def symbolic_nbytes(sf) -> int:
+    """Estimated resident bytes of a :class:`SymbolicFactor`."""
+    total = (
+        sf.perm.nbytes + sf.super_ptr.nbytes + sf.sparent.nbytes + sf.spost.nbytes
+    )
+    total += sum(r.nbytes for r in sf.rows)
+    for name in ("parent", "post"):
+        arr = getattr(sf.etree, name, None)
+        if arr is not None and hasattr(arr, "nbytes"):
+            total += arr.nbytes
+    return int(total)
+
+
+def numeric_nbytes(factor) -> int:
+    """Estimated resident bytes of a :class:`NumericFactor` (panels + symbolic)."""
+    return int(sum(p.nbytes for p in factor.panels)) + symbolic_nbytes(factor.sf)
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one two-tier lookup."""
+
+    tier: str                      # "numeric" | "symbolic" | "miss"
+    symbolic: object | None = None
+    numeric: object | None = None
+
+
+class FactorizationCache:
+    """LRU cache of symbolic and numeric factorizations under a byte budget."""
+
+    SYMBOLIC = "symbolic"
+    NUMERIC = "numeric"
+
+    def __init__(self, *, max_bytes: int = 256 << 20):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        # (tier, key) -> (payload, nbytes); insertion/access order = LRU order
+        self._entries: OrderedDict[tuple[str, str], tuple[object, int]] = (
+            OrderedDict()
+        )
+        self.stored_bytes = 0
+        self.stats: dict[str, int] = {
+            "lookups": 0,
+            "numeric_hits": 0,
+            "symbolic_hits": 0,
+            "misses": 0,
+            "insertions": 0,
+            "evictions": 0,
+            "rejected_oversize": 0,
+        }
+
+    # -- lookups -----------------------------------------------------------
+    def lookup(self, symbolic_key: str, numeric_key: str) -> CacheLookup:
+        """Tiered lookup: full numeric hit beats symbolic hit beats miss."""
+        with self._lock:
+            self.stats["lookups"] += 1
+            num = self._touch((self.NUMERIC, numeric_key))
+            if num is not None:
+                self.stats["numeric_hits"] += 1
+                # refresh the symbolic entry too: it backs the numeric one
+                sym = self._touch((self.SYMBOLIC, symbolic_key))
+                return CacheLookup(self.NUMERIC, symbolic=sym, numeric=num)
+            sym = self._touch((self.SYMBOLIC, symbolic_key))
+            if sym is not None:
+                self.stats["symbolic_hits"] += 1
+                return CacheLookup(self.SYMBOLIC, symbolic=sym)
+            self.stats["misses"] += 1
+            return CacheLookup("miss")
+
+    def get_symbolic(self, key: str):
+        with self._lock:
+            return self._touch((self.SYMBOLIC, key))
+
+    def get_numeric(self, key: str):
+        with self._lock:
+            return self._touch((self.NUMERIC, key))
+
+    def _touch(self, full_key):
+        entry = self._entries.get(full_key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(full_key)
+        return entry[0]
+
+    # -- insertion / eviction ----------------------------------------------
+    def put_symbolic(self, key: str, sf, *, nbytes: int | None = None) -> bool:
+        return self._put(
+            (self.SYMBOLIC, key), sf,
+            nbytes if nbytes is not None else symbolic_nbytes(sf),
+        )
+
+    def put_numeric(self, key: str, factor, *, nbytes: int | None = None) -> bool:
+        return self._put(
+            (self.NUMERIC, key), factor,
+            nbytes if nbytes is not None else numeric_nbytes(factor),
+        )
+
+    def _put(self, full_key, payload, nbytes: int) -> bool:
+        nbytes = int(nbytes)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.stats["rejected_oversize"] += 1
+                return False
+            old = self._entries.pop(full_key, None)
+            if old is not None:
+                self.stored_bytes -= old[1]
+            self._entries[full_key] = (payload, nbytes)
+            self.stored_bytes += nbytes
+            self.stats["insertions"] += 1
+            while self.stored_bytes > self.max_bytes:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self.stored_bytes -= evicted_bytes
+                self.stats["evictions"] += 1
+            return True
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def pattern_hit_rate(self) -> float:
+        """Fraction of lookups that at least hit the symbolic tier (a
+        numeric hit implies its pattern was known too)."""
+        n = self.stats["lookups"]
+        if n == 0:
+            return 0.0
+        return (self.stats["numeric_hits"] + self.stats["symbolic_hits"]) / n
+
+    @property
+    def numeric_hit_rate(self) -> float:
+        n = self.stats["lookups"]
+        return self.stats["numeric_hits"] / n if n else 0.0
+
+    def keys(self) -> list[tuple[str, str]]:
+        """(tier, key) pairs in LRU order, coldest first."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stored_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FactorizationCache(entries={len(self)}, "
+            f"bytes={self.stored_bytes}/{self.max_bytes})"
+        )

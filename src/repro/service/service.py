@@ -1,0 +1,493 @@
+"""Solver-as-a-service: a concurrent front-end over the multifrontal solver.
+
+:class:`SolverService` accepts solve requests (matrix + right-hand side)
+on a thread-safe queue and drives a pool of worker threads, reusing
+factorizations through the two-tier :class:`FactorizationCache`:
+
+* **numeric hit** — the exact matrix (pattern *and* values) was factored
+  before: go straight to the blocked triangular solves, zero
+  factorization work;
+* **symbolic hit** — the pattern was analyzed before with the same
+  ordering/amalgamation settings: skip ordering + symbolic analysis and
+  re-run only the numeric factorization
+  (:meth:`SparseCholeskySolver.from_symbolic`);
+* **miss** — full ``analyze().factorize()`` pipeline; both tiers are
+  populated for the requests that follow.
+
+Requests that resolve to the same cached factor are aggregated into one
+blocked ``solve_factored`` call (see :mod:`repro.service.batching`):
+after resolving a factor the worker drains every compatible queued
+request, optionally waiting ``batch_window`` seconds for stragglers.
+
+Requests carry optional deadlines — an expired request is completed
+with :class:`TimeoutError`, never silently dropped — and degrade
+gracefully: if the configured (simulated-GPU) policy raises during
+factorization, the request is retried on the CPU-only ``P1`` policy and
+flagged ``degraded`` in its result.
+
+Every stage is timed into :class:`ServiceMetrics` (latency histograms,
+cache and batch counters, queue-depth gauge, Chrome-trace spans).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dense.kernels import NotPositiveDefiniteError
+from repro.gpu.device import SimulatedNode
+from repro.multifrontal.refine import iterative_refinement
+from repro.multifrontal.solve import solve_factored
+from repro.multifrontal.solver import SparseCholeskySolver
+from repro.policies.base import Policy
+from repro.service.batching import BatchPlan
+from repro.service.cache import FactorizationCache
+from repro.service.keys import matrix_key
+from repro.service.metrics import ServiceMetrics
+from repro.symbolic.supernodes import AmalgamationParams
+
+__all__ = ["SolveOutcome", "SolveRequest", "SolverService"]
+
+
+@dataclass
+class SolveOutcome:
+    """What a completed request resolves to."""
+
+    x: np.ndarray
+    request_id: int
+    tier: str                      # "numeric" | "symbolic" | "miss" | "batched"
+    degraded: bool = False         # True when the GPU policy fell back to P1
+    batch_size: int = 1            # how many requests shared the solve call
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+class SolveRequest:
+    """Future-like handle returned by :meth:`SolverService.submit`."""
+
+    __slots__ = (
+        "request_id", "a", "canonical", "b", "sym_key", "num_key",
+        "policy_spec", "refine", "tol", "max_iter", "deadline", "submitted",
+        "_event", "_outcome", "_error",
+    )
+
+    def __init__(self, request_id: int, a, canonical, b, *, sym_key, num_key,
+                 policy_spec, refine, tol, max_iter, deadline, submitted):
+        self.request_id = request_id
+        self.a = a
+        self.canonical = canonical
+        self.b = b
+        self.sym_key = sym_key
+        self.num_key = num_key
+        self.policy_spec = policy_spec
+        self.refine = refine
+        self.tol = tol
+        self.max_iter = max_iter
+        self.deadline = deadline
+        self.submitted = submitted
+        self._event = threading.Event()
+        self._outcome: SolveOutcome | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SolveOutcome:
+        """Block until the request completes; raises its error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not completed within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    # -- worker side -------------------------------------------------------
+    def _fulfill(self, outcome: SolveOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class SolverService:
+    """Concurrent solve service with pattern-keyed factorization reuse.
+
+    Parameters
+    ----------
+    n_workers : int
+        Worker threads driving solves.
+    policy : str or Policy
+        Default placement policy for factorizations (per-request override
+        via :meth:`submit`).
+    ordering, amalgamation :
+        Symbolic-analysis settings; part of the symbolic cache key.
+    cache : FactorizationCache, optional
+        Shared cache instance; by default a fresh one bounded by
+        ``max_cache_bytes``.
+    batch_window : float
+        Extra seconds a worker waits for more same-factor requests to
+        arrive before solving (already-queued matches are always taken).
+    max_batch : int
+        Upper bound on requests aggregated into one solve call.
+    node_factory : callable, optional
+        Builds the :class:`SimulatedNode` used by each factorization
+        (one per factorization, so workers never share engine state).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 2,
+        policy: str | Policy = "P1",
+        ordering: str = "amd",
+        amalgamation: AmalgamationParams | None = None,
+        cache: FactorizationCache | None = None,
+        max_cache_bytes: int = 256 << 20,
+        batch_window: float = 0.0,
+        max_batch: int = 32,
+        metrics: ServiceMetrics | None = None,
+        node_factory=None,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.policy = policy
+        self.ordering = ordering
+        self.amalgamation = amalgamation
+        self.cache = cache if cache is not None else FactorizationCache(
+            max_bytes=max_cache_bytes
+        )
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self._node_factory = node_factory or (
+            lambda: SimulatedNode(n_cpus=1, n_gpus=1)
+        )
+        self._classifier = None
+        self._classifier_lock = threading.Lock()
+        self._queue: deque[SolveRequest] = deque()
+        self._cond = threading.Condition()
+        self._inflight: dict[str, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        self._stop = False
+        self._next_id = 0
+        self._t0 = time.perf_counter()
+        self._amalg_tag = repr(
+            amalgamation if amalgamation is not None else AmalgamationParams()
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,),
+                name=f"solver-worker-{i}", daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        a,
+        b,
+        *,
+        policy: str | Policy | None = None,
+        timeout: float | None = None,
+        refine: bool = False,
+        tol: float = 1e-12,
+        max_iter: int = 5,
+    ) -> SolveRequest:
+        """Enqueue ``A x = b``; returns a future-like :class:`SolveRequest`.
+
+        ``timeout`` is a deadline in seconds from submission: a request
+        still queued past it completes with :class:`TimeoutError`.
+        """
+        if self._stop:
+            raise RuntimeError("service is shut down")
+        now = time.perf_counter()
+        key, canonical = matrix_key(a)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != canonical.n_rows or b.ndim not in (1, 2):
+            raise ValueError(
+                f"rhs must have shape ({canonical.n_rows},) or "
+                f"({canonical.n_rows}, nrhs), got {b.shape}"
+            )
+        spec = policy if policy is not None else self.policy
+        with self._cond:
+            self._next_id += 1
+            req = SolveRequest(
+                self._next_id, a, canonical, b,
+                sym_key=f"{key.pattern}|ord={self.ordering}|{self._amalg_tag}",
+                num_key=(
+                    f"{key.values}|ord={self.ordering}"
+                    f"|pol={self._policy_tag(spec)}"
+                ),
+                policy_spec=spec,
+                refine=refine, tol=tol, max_iter=max_iter,
+                deadline=None if timeout is None else now + timeout,
+                submitted=now,
+            )
+            self._queue.append(req)
+            depth = len(self._queue)
+            self._cond.notify()
+        self.metrics.incr("submitted")
+        self.metrics.gauge("queue_depth", depth)
+        return req
+
+    def solve(self, a, b, **kwargs) -> SolveOutcome:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(a, b, **kwargs).result()
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work; workers drain the queue, then exit."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if wait:
+            for w in self._workers:
+                w.join()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def report(self) -> dict:
+        """Merged metrics + cache statistics snapshot."""
+        out = self.metrics.report()
+        out["cache"] = dict(self.cache.stats)
+        out["cache"]["stored_bytes"] = self.cache.stored_bytes
+        out["cache"]["entries"] = len(self.cache)
+        out["cache"]["pattern_hit_rate"] = self.cache.pattern_hit_rate
+        out["cache"]["numeric_hit_rate"] = self.cache.numeric_hit_rate
+        return out
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _policy_tag(spec) -> str:
+        if isinstance(spec, Policy):
+            return getattr(spec, "name", spec.__class__.__name__)
+        return str(spec).lower()
+
+    @staticmethod
+    def _is_cpu_only(spec) -> bool:
+        if isinstance(spec, Policy):
+            return not getattr(spec, "needs_gpu", True)
+        return str(spec).lower() == "p1"
+
+    def _worker_loop(self, idx: int) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._queue:
+                    req = self._queue.popleft()
+                else:  # stopped and drained
+                    return
+            try:
+                self._process(req, idx)
+            except BaseException as exc:  # never let a worker die silently
+                self.metrics.incr("failed")
+                if not req.done():
+                    req._fail(exc)
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _build_solver(self, canonical, symbolic, spec) -> SparseCholeskySolver:
+        classifier = None
+        if not isinstance(spec, Policy) and str(spec).lower() == "model":
+            with self._classifier_lock:
+                if self._classifier is None:
+                    from repro.autotune import train_default_classifier
+
+                    self._classifier = train_default_classifier(
+                        self._node_factory().model
+                    )
+                classifier = self._classifier
+        if symbolic is not None:
+            return SparseCholeskySolver.from_symbolic(
+                canonical, symbolic, policy=spec,
+                node=self._node_factory(), classifier=classifier,
+            )
+        return SparseCholeskySolver(
+            canonical, ordering=self.ordering, policy=spec,
+            node=self._node_factory(), amalgamation=self.amalgamation,
+            classifier=classifier,
+        )
+
+    def _process(self, req: SolveRequest, worker: int) -> None:
+        engine = f"worker{worker}"
+        now = time.perf_counter()
+        self.metrics.observe("queue_wait", now - req.submitted)
+        self.metrics.gauge("queue_depth", len(self._queue))
+        if req.deadline is not None and now > req.deadline:
+            self._expire(req)
+            return
+
+        factor, tier, degraded = self._resolve_factor(req, engine)
+
+        batch = [req]
+        if not req.refine and self.max_batch > 1:
+            batch += self._collect_batch(req)
+
+        t0 = self._now()
+        plan = BatchPlan.build(batch, req.canonical.n_rows)
+        x = solve_factored(factor, plan.block)
+        t1 = self._now()
+        self.metrics.observe("solve", t1 - t0)
+        self.metrics.span(f"req{req.request_id}:solve", "solve", engine, t0, t1)
+        self.metrics.observe("batch_size", len(batch))
+        if len(batch) > 1:
+            self.metrics.incr("batches")
+            self.metrics.incr("batched_requests", len(batch) - 1)
+
+        for r, xr in plan.scatter(x):
+            if r.refine:
+                res = iterative_refinement(
+                    r.canonical, factor, r.b, tol=r.tol, max_iter=r.max_iter
+                )
+                xr = res.x
+            # batch members rode the anchor's factor: from the request's
+            # point of view that is a full factorization reuse
+            r_tier = tier if r is req else "batched"
+            done = time.perf_counter()
+            self.metrics.observe("total", done - r.submitted)
+            self.metrics.incr("completed")
+            self.metrics.incr(f"requests_{r_tier}")
+            r._fulfill(
+                SolveOutcome(
+                    x=xr,
+                    request_id=r.request_id,
+                    tier=r_tier,
+                    degraded=degraded,
+                    batch_size=len(batch),
+                    timings={"total": done - r.submitted},
+                )
+            )
+
+    def _expire(self, req: SolveRequest) -> None:
+        self.metrics.incr("timeouts")
+        req._fail(
+            TimeoutError(
+                f"request {req.request_id} missed its deadline before service"
+            )
+        )
+
+    # -- factor resolution -------------------------------------------------
+    def _resolve_factor(self, req: SolveRequest, engine: str):
+        look = self.cache.lookup(req.sym_key, req.num_key)
+        if look.tier == FactorizationCache.NUMERIC:
+            return look.numeric, "numeric", False
+
+        # in-flight coalescing: if another worker is already factoring this
+        # exact (values, policy) key, wait for it instead of duplicating
+        # the factorization
+        with self._inflight_lock:
+            pending = self._inflight.get(req.num_key)
+            if pending is None:
+                self._inflight[req.num_key] = threading.Event()
+        if pending is not None:
+            pending.wait()
+            look = self.cache.lookup(req.sym_key, req.num_key)
+            if look.tier == FactorizationCache.NUMERIC:
+                return look.numeric, "numeric", False
+            # the owner failed or was evicted immediately; compute ourselves
+            # (without registering — worst case is one duplicated factor)
+            return self._compute_factor(req, engine, look)
+        try:
+            return self._compute_factor(req, engine, look)
+        finally:
+            with self._inflight_lock:
+                event = self._inflight.pop(req.num_key, None)
+            if event is not None:
+                event.set()
+
+    def _compute_factor(self, req: SolveRequest, engine: str, look):
+        if look.tier == FactorizationCache.SYMBOLIC:
+            solver = self._build_solver(
+                req.canonical, look.symbolic, req.policy_spec
+            )
+        else:
+            t0 = self._now()
+            solver = self._build_solver(req.canonical, None, req.policy_spec)
+            solver.analyze()
+            t1 = self._now()
+            self.metrics.observe("analyze", t1 - t0)
+            self.metrics.span(
+                f"req{req.request_id}:analyze", "analyze", engine, t0, t1
+            )
+            self.cache.put_symbolic(req.sym_key, solver.symbolic)
+
+        degraded = False
+        t0 = self._now()
+        try:
+            solver.factorize()
+        except NotPositiveDefiniteError:
+            raise
+        except Exception:
+            # graceful degradation: anything the (simulated) GPU path
+            # raises is retried on the CPU-only policy — the request is
+            # flagged, not dropped
+            if self._is_cpu_only(req.policy_spec):
+                raise
+            degraded = True
+            self.metrics.incr("degraded")
+            solver = SparseCholeskySolver.from_symbolic(
+                req.canonical, solver.symbolic, policy="P1",
+                node=self._node_factory(),
+            )
+            solver.factorize()
+        t1 = self._now()
+        self.metrics.incr("numeric_factorizations")
+        self.metrics.observe("factorize", t1 - t0)
+        self.metrics.span(
+            f"req{req.request_id}:factorize", "factorize", engine, t0, t1
+        )
+        if not degraded:
+            # a degraded factor is P1-produced under a different policy
+            # key; do not publish it under the requested policy's key
+            self.cache.put_numeric(req.num_key, solver.factor)
+        return solver.factor, look.tier, degraded
+
+    # -- batching ----------------------------------------------------------
+    def _collect_batch(self, anchor: SolveRequest) -> list[SolveRequest]:
+        """Drain queued requests solvable with ``anchor``'s factor."""
+        got: list[SolveRequest] = []
+        deadline_wait = self.batch_window
+        while True:
+            with self._cond:
+                keep: deque[SolveRequest] = deque()
+                while self._queue and len(got) < self.max_batch - 1:
+                    cand = self._queue.popleft()
+                    if cand.num_key == anchor.num_key and not cand.refine:
+                        if (
+                            cand.deadline is not None
+                            and time.perf_counter() > cand.deadline
+                        ):
+                            self._expire(cand)
+                            continue
+                        self.metrics.observe(
+                            "queue_wait", time.perf_counter() - cand.submitted
+                        )
+                        got.append(cand)
+                    else:
+                        keep.append(cand)
+                keep.extend(self._queue)
+                self._queue = keep
+                if deadline_wait > 0 and len(got) < self.max_batch - 1:
+                    self._cond.wait(deadline_wait)
+                    deadline_wait = 0.0
+                    continue
+            return got

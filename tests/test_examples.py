@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "mixed_precision_refinement.py",
     "copy_optimization.py",
     "schur_domain_decomposition.py",
+    "serving_workflow.py",
 ]
 
 

@@ -41,6 +41,26 @@ class TestChromeTrace:
         with pytest.raises(ValueError):
             tasks_to_chrome_trace(g.tasks)
 
+    def test_engine_rows_ordered_by_kind(self):
+        # regression: engine tids must follow _ENGINE_ORDER (cpu, gpu,
+        # nic) even when the task stream mentions the engines in a
+        # different order
+        g = TaskGraph()
+        a = g.add("k0", "rank1.nic", 1e-4, category="comm")
+        b = g.add("k1", "gpu0.compute", 1e-3, deps=(a,), category="syrk")
+        c = g.add("k2", "gpu0.h2d", 5e-4, deps=(b,), category="copy")
+        g.add("k3", "cpu0", 1e-3, deps=(c,), category="potrf")
+        schedule_graph(g)
+        doc = tasks_to_chrome_trace(g.tasks)
+        metas = sorted(
+            (e for e in doc["traceEvents"] if e["ph"] == "M"),
+            key=lambda e: e["tid"],
+        )
+        assert [m["args"]["name"] for m in metas] == [
+            "cpu0", "gpu0.compute", "gpu0.h2d", "rank1.nic"
+        ]
+        assert [m["tid"] for m in metas] == [0, 1, 2, 3]
+
     def test_write_round_trip(self, scheduled_tasks, tmp_path):
         path = tmp_path / "trace.json"
         write_chrome_trace(path, scheduled_tasks)
