@@ -1,0 +1,105 @@
+"""Extension — the dynamic event-driven runtime vs the static scheduler.
+
+The paper's parallel runs (Section VI-C) bind every task to a worker up
+front with a static list schedule.  The :mod:`repro.runtime` extension
+executes the same supernodal DAG through an asynchronous event-driven
+engine — work stealing, memory-aware admission, dispatch-time policy
+selection, injected-fault tolerance — and this bench quantifies the
+trade: comparable makespan and bit-identical factors, plus the ability
+to honor a device/stack memory budget the static schedule exceeds and
+to survive injected GPU kernel failures.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d
+from repro.parallel import list_schedule, make_worker_pool, parallel_factorize
+from repro.policies import make_policy
+from repro.runtime import (
+    FaultInjector,
+    dynamic_schedule,
+    schedule_peak_update_bytes,
+)
+from repro.symbolic import symbolic_factorize
+
+
+def test_extension_runtime(save, benchmark):
+    a = grid_laplacian_2d(32, 32)
+    sf = symbolic_factorize(a, ordering="nd")
+    policy = make_policy("P1")
+
+    # --- makespan + stealing, 4 CPU workers --------------------------------
+    pool = make_worker_pool(4, 0)
+    static = list_schedule(sf, policy, pool, gang_threshold=np.inf)
+    dyn = dynamic_schedule(sf, policy, make_worker_pool(4, 0))
+    assert dyn.stats.steals >= 1
+    assert dyn.makespan <= 1.25 * static.makespan
+
+    # --- memory budget the static schedule exceeds -------------------------
+    static_peak = schedule_peak_update_bytes(sf, static.schedule)
+    budget = int(0.9 * static_peak)
+    capped = dynamic_schedule(
+        sf, policy, make_worker_pool(4, 0), memory_budget=budget
+    )
+    assert static_peak > budget
+    assert capped.stats.peak_admitted_bytes <= budget
+    assert capped.stats.forced_admissions == 0
+    assert capped.stats.admission_deferrals > 0
+    assert len(capped.schedule) == sf.n_supernodes
+
+    # --- bit-identical factors through parallel_factorize ------------------
+    a3 = grid_laplacian_3d(6, 6, 6)
+    sf3 = symbolic_factorize(a3, ordering="nd")
+    pol = make_policy("P2")
+    rs = parallel_factorize(a3, sf3, pol, make_worker_pool(2, 2),
+                            backend="static")
+    rd = parallel_factorize(a3, sf3, pol, make_worker_pool(2, 2),
+                            backend="dynamic")
+    identical = all(
+        np.array_equal(ps, pd)
+        for ps, pd in zip(rs.factor.panels, rd.factor.panels)
+    )
+    assert identical
+
+    # --- injected GPU faults: degrade, don't raise -------------------------
+    mk = [(s, sf3.update_size(s) * sf3.width(s)) for s in range(sf3.n_supernodes)]
+    fail_sids = frozenset(s for s, _ in sorted(mk, key=lambda t: -t[1])[:3])
+    faults = FaultInjector(fail_sids=fail_sids, seed=3)
+    rf = parallel_factorize(a3, sf3, make_policy("P3"), make_worker_pool(2, 2),
+                            backend="dynamic", faults=faults)
+    assert rf.degraded
+    assert rf.runtime.degraded_sids == fail_sids
+    assert rf.factor is not None  # completed despite the failures
+
+    s = dyn.stats
+    c = capped.stats
+    rows = [
+        ["workers", 4],
+        ["static makespan (ms)", f"{static.makespan * 1e3:.3f}"],
+        ["dynamic makespan (ms)", f"{dyn.makespan * 1e3:.3f}"],
+        ["dynamic / static", f"{dyn.makespan / static.makespan:.3f}"],
+        ["steal transactions / tasks stolen", f"{s.steals} / {s.stolen_tasks}"],
+        ["static peak update-stack (bytes)", static_peak],
+        ["memory budget (bytes)", budget],
+        ["dynamic peak under budget (bytes)", c.peak_admitted_bytes],
+        ["admission deferrals", c.admission_deferrals],
+        ["forced admissions", c.forced_admissions],
+        ["factors bit-identical to static", identical],
+        ["injected kernel failures -> degraded tasks",
+         f"{len(fail_sids)} -> {rf.runtime.stats.degraded_tasks}"],
+    ]
+    text = format_table(
+        ["metric", "value"], rows,
+        title="Extension — event-driven runtime vs static list scheduler",
+    )
+    text += (
+        "\nthe dynamic engine matches the static makespan within a few "
+        "percent while bootstrapping its workers by stealing, honors a "
+        "memory budget the static schedule exceeds by deferring (not "
+        "dropping) fronts, and completes under injected GPU faults by "
+        "degrading the failed fronts to the host path."
+    )
+    save("extension_runtime", text)
+
+    benchmark(lambda: dynamic_schedule(sf, policy, make_worker_pool(4, 0)))

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     python -m repro policies --m 2000 --k 800  # per-policy call costs
     python -m repro train --samples 400 --out clf.json
     python -m repro serve-bench --requests 60  # solver-service benchmark
+    python -m repro runtime-bench --cpus 4     # static vs dynamic runtime
 
 Every subcommand prints plain text and returns a process exit code, so
 the tool scripts cleanly.
@@ -289,6 +290,93 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def _runtime_suite():
+    from repro.matrices import elasticity_3d, grid_laplacian_2d, grid_laplacian_3d
+
+    return [
+        ("lap2d-32x32", grid_laplacian_2d(32, 32)),
+        ("lap3d-8x8x8", grid_laplacian_3d(8, 8, 8)),
+        ("elasticity-5x5x5", elasticity_3d(5, 5, 5)),
+    ]
+
+
+def _runtime_policy(name: str, model):
+    from repro.policies import make_policy
+    from repro.policies.hybrid import BaselineHybrid, IdealHybrid
+
+    low = name.lower()
+    if low == "baseline":
+        return BaselineHybrid()
+    if low == "ideal":
+        return IdealHybrid(model)
+    return make_policy("P4c" if low == "p4c" else name.upper())
+
+
+def cmd_runtime_bench(args) -> int:
+    from repro.analysis import format_table
+    from repro.parallel import list_schedule, make_worker_pool
+    from repro.runtime import (
+        FaultInjector,
+        dynamic_schedule,
+        schedule_peak_update_bytes,
+    )
+    from repro.symbolic import symbolic_factorize
+
+    rows = []
+    last_dyn = None
+    for name, a in _runtime_suite():
+        sf = symbolic_factorize(a, ordering=args.ordering)
+        pool = make_worker_pool(args.cpus, args.gpus)
+        policy = _runtime_policy(args.policy, pool.node.model)
+        static = list_schedule(sf, policy, pool, gang_threshold=np.inf)
+        static_peak = schedule_peak_update_bytes(sf, static.schedule)
+        budget = (
+            int(static_peak * args.budget_frac) if args.budget_frac > 0 else None
+        )
+        faults = None
+        if args.fail_rate > 0 or args.stall_rate > 0:
+            faults = FaultInjector(
+                kernel_failure_rate=args.fail_rate,
+                transfer_stall_rate=args.stall_rate,
+                seed=args.seed,
+            )
+        dyn = dynamic_schedule(
+            sf, policy, make_worker_pool(args.cpus, args.gpus),
+            memory_budget=budget, faults=faults,
+        )
+        last_dyn = dyn
+        s = dyn.stats
+        rows.append([
+            name,
+            f"{static.makespan * 1e3:.3f}",
+            f"{dyn.makespan * 1e3:.3f}",
+            f"{dyn.makespan / static.makespan:.3f}",
+            s.steals,
+            s.stolen_tasks,
+            s.admission_deferrals,
+            ("-" if budget is None else
+             f"{s.peak_admitted_bytes}/{budget}"
+             + ("!" if s.peak_admitted_bytes > budget else "")),
+            s.degraded_tasks,
+        ])
+    print(format_table(
+        ["matrix", "static ms", "dynamic ms", "dyn/static", "steals",
+         "stolen", "deferrals", "peak/budget", "degraded"],
+        rows,
+        title=(
+            f"runtime-bench: {args.cpus} CPUs, {args.gpus} GPUs, "
+            f"policy {args.policy}"
+        ),
+    ))
+    if args.trace and last_dyn is not None:
+        import json
+
+        with open(args.trace, "w") as fh:
+            json.dump(last_dyn.chrome_trace(), fh)
+        print(f"chrome trace of the last run written to {args.trace}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -356,6 +444,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="factorization-cache budget in MiB")
     sb.add_argument("--trace", default="",
                     help="write per-request Chrome-trace slices to this path")
+
+    rb = sub.add_parser(
+        "runtime-bench",
+        help="static list scheduler vs the dynamic event-driven runtime",
+    )
+    rb.add_argument("--cpus", type=int, default=4)
+    rb.add_argument("--gpus", type=int, default=0)
+    rb.add_argument("--policy", default="P1",
+                    help="P1..P4, P4c, baseline, ideal")
+    rb.add_argument("--ordering", default="nd",
+                    choices=("natural", "amd", "rcm", "nd"))
+    rb.add_argument("--budget-frac", type=float, default=0.0,
+                    help="memory budget as a fraction of the static "
+                         "schedule's peak (0 disables admission control)")
+    rb.add_argument("--fail-rate", type=float, default=0.0,
+                    help="injected GPU kernel failure probability")
+    rb.add_argument("--stall-rate", type=float, default=0.0,
+                    help="injected transfer stall probability")
+    rb.add_argument("--seed", type=int, default=0)
+    rb.add_argument("--trace", default="",
+                    help="write the last dynamic run's Chrome trace here")
     return p
 
 
@@ -368,6 +477,7 @@ _COMMANDS = {
     "policies": cmd_policies,
     "train": cmd_train,
     "serve-bench": cmd_serve_bench,
+    "runtime-bench": cmd_runtime_bench,
 }
 
 

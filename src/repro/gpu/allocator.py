@@ -52,6 +52,7 @@ class HighWaterMarkPool:
     alloc_time: object
     capacity_limit: int | None = None
     capacity: int = 0
+    in_use: int = 0
     stats: AllocationStats = field(default_factory=AllocationStats)
 
     def request(self, nbytes: int) -> float:
@@ -61,9 +62,11 @@ class HighWaterMarkPool:
             raise ValueError("negative allocation request")
         self.stats.n_requests += 1
         self.stats.bytes_requested += nbytes
+        self.in_use += nbytes
         if nbytes <= self.capacity:
             return 0.0
         if self.capacity_limit is not None and nbytes > self.capacity_limit:
+            self.in_use -= nbytes
             raise DeviceMemoryError(
                 f"request of {nbytes} bytes exceeds device capacity "
                 f"{self.capacity_limit}"
@@ -75,6 +78,28 @@ class HighWaterMarkPool:
         self.stats.alloc_seconds += cost
         return cost
 
+    def release(self, nbytes: int | None = None) -> None:
+        """Return ``nbytes`` of reservations (all of them when omitted).
+
+        The backing buffer is *kept* — that is the whole point of the
+        high-water-mark strategy — only the ``in_use`` accounting drops,
+        so long-lived owners (the dynamic runtime admitting concurrent
+        fronts) can see what is logically live versus merely retained.
+        """
+        if nbytes is None:
+            self.in_use = 0
+        elif nbytes < 0:
+            raise ValueError("negative release")
+        else:
+            self.in_use = max(0, self.in_use - nbytes)
+
+    def reset_peak(self) -> None:
+        """Forget the high-water mark: shrink the retained capacity to
+        what is currently in use (e.g. between factorizations, so a new
+        run re-measures its own peak instead of inheriting ours)."""
+        self.capacity = self.in_use
+        self.stats.high_water = self.in_use
+
 
 @dataclass
 class PerCallPool:
@@ -83,6 +108,7 @@ class PerCallPool:
 
     alloc_time: object
     capacity_limit: int | None = None
+    in_use: int = 0
     stats: AllocationStats = field(default_factory=AllocationStats)
 
     def request(self, nbytes: int) -> float:
@@ -95,8 +121,22 @@ class PerCallPool:
                 f"request of {nbytes} bytes exceeds device capacity "
                 f"{self.capacity_limit}"
             )
+        self.in_use += nbytes
         cost = float(self.alloc_time(nbytes))
         self.stats.n_growths += 1
         self.stats.high_water = max(self.stats.high_water, nbytes)
         self.stats.alloc_seconds += cost
         return cost
+
+    def release(self, nbytes: int | None = None) -> None:
+        """Frees immediately (that is the naive strategy); only the
+        ``in_use`` accounting exists, there is nothing retained."""
+        if nbytes is None:
+            self.in_use = 0
+        elif nbytes < 0:
+            raise ValueError("negative release")
+        else:
+            self.in_use = max(0, self.in_use - nbytes)
+
+    def reset_peak(self) -> None:
+        self.stats.high_water = self.in_use

@@ -119,4 +119,6 @@ class SimulatedNode:
             g.cublas.busy_seconds = 0.0
             g.cublas.calls.clear()
             g.device_pool.capacity = 0
+            g.device_pool.in_use = 0
             g.pinned_pool.capacity = 0 if hasattr(g.pinned_pool, "capacity") else 0
+            g.pinned_pool.in_use = 0 if hasattr(g.pinned_pool, "in_use") else 0

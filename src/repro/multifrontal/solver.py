@@ -14,6 +14,17 @@ Policies may be given by name (``"P1"``..``"P4"``, ``"P4c"``,
 auto-trains a cost-sensitive classifier on synthetic timing data from
 the node's performance model (the paper's auto-tuning loop) unless a
 trained classifier is supplied.
+
+Two orthogonal execution knobs:
+
+* ``schedule="liu"`` (serial backend only) runs the elimination in
+  Liu's stack-minimizing child order instead of the default postorder —
+  same factor, lower peak update-stack memory;
+* ``backend="static"``/``"dynamic"`` factor through the parallel
+  schedulers (:mod:`repro.parallel` / :mod:`repro.runtime`) over a
+  worker pool built from this solver's node; ``backend="dynamic"``
+  additionally accepts ``memory_budget`` (admission control) and
+  ``faults`` (a :class:`repro.runtime.FaultInjector`).
 """
 
 from __future__ import annotations
@@ -68,16 +79,40 @@ class SparseCholeskySolver:
         node: SimulatedNode | None = None,
         amalgamation: AmalgamationParams | None = None,
         classifier=None,
+        schedule: str = "post",
+        backend: str = "serial",
+        memory_budget: int | None = None,
+        faults=None,
     ):
         if a.n_rows != a.n_cols:
             raise ValueError("matrix must be square")
+        if schedule not in ("post", "liu"):
+            raise ValueError(f"unknown schedule {schedule!r} (post | liu)")
+        if backend not in ("serial", "static", "dynamic"):
+            raise ValueError(
+                f"unknown backend {backend!r} (serial | static | dynamic)"
+            )
+        if schedule == "liu" and backend != "serial":
+            raise ValueError(
+                "schedule='liu' orders the serial elimination; parallel "
+                "backends choose their own execution order"
+            )
+        if (memory_budget is not None or faults is not None) and backend != "dynamic":
+            raise ValueError("memory_budget/faults require backend='dynamic'")
         self.a = a if a.is_structurally_symmetric() else a.symmetrize_from_lower()
         self.ordering = ordering
         self.node = node if node is not None else SimulatedNode(n_cpus=1, n_gpus=1)
         self.amalgamation = amalgamation
+        self.schedule = schedule
+        self.backend = backend
+        self.memory_budget = memory_budget
+        self.faults = faults
         self._policy = self._build_policy(policy, classifier)
         self.symbolic: SymbolicFactor | None = None
         self.factor: NumericFactor | None = None
+        #: populated by the parallel backends: the full ParallelResult
+        #: (schedule, worker busy times, dynamic runtime counters)
+        self.parallel = None
 
     # ------------------------------------------------------------------
     def _build_policy(self, policy: str | Policy, classifier) -> Policy:
@@ -112,6 +147,10 @@ class SparseCholeskySolver:
         policy: str | Policy = "P1",
         node: SimulatedNode | None = None,
         classifier=None,
+        schedule: str = "post",
+        backend: str = "serial",
+        memory_budget: int | None = None,
+        faults=None,
     ) -> "SparseCholeskySolver":
         """Build a solver around an existing symbolic factorization.
 
@@ -129,6 +168,10 @@ class SparseCholeskySolver:
             node=node,
             amalgamation=symbolic.amalgamation,
             classifier=classifier,
+            schedule=schedule,
+            backend=backend,
+            memory_budget=memory_budget,
+            faults=faults,
         )
         if symbolic.n != self.a.n_rows:
             raise ValueError(
@@ -145,6 +188,23 @@ class SparseCholeskySolver:
         )
         return self
 
+    def _worker_pool(self):
+        """Pool over this solver's node: one worker per host CPU, the
+        first ``n_gpus`` of them owning a GPU each (the paper's design
+        point of one host thread per GPU)."""
+        from repro.parallel.workers import WorkerPool
+        from repro.policies.base import Worker
+
+        node = self.node
+        workers = [
+            Worker(
+                node.cpus[i].engine,
+                node.gpus[i] if i < len(node.gpus) else None,
+            )
+            for i in range(len(node.cpus))
+        ]
+        return WorkerPool(node=node, workers=workers)
+
     def factorize(self) -> "SparseCholeskySolver":
         """Run the numeric factorization (analyze first if needed)."""
         if self.symbolic is None:
@@ -152,9 +212,27 @@ class SparseCholeskySolver:
         self.node.reset()
         if hasattr(self._policy, "selection_counts"):
             self._policy.selection_counts.clear()
-        self.factor = factorize_numeric(
-            self.a, self.symbolic, self._policy, node=self.node
-        )
+        if self.backend == "serial":
+            spost = None
+            if self.schedule == "liu":
+                from repro.symbolic.stack import stack_minimizing_postorder
+
+                spost = stack_minimizing_postorder(self.symbolic)
+            self.factor = factorize_numeric(
+                self.a, self.symbolic, self._policy, node=self.node,
+                spost=spost,
+            )
+        else:
+            from repro.parallel.scheduler import parallel_factorize
+
+            result = parallel_factorize(
+                self.a, self.symbolic, self._policy, self._worker_pool(),
+                backend=self.backend,
+                memory_budget=self.memory_budget,
+                faults=self.faults,
+            )
+            self.parallel = result
+            self.factor = result.factor
         return self
 
     def solve(

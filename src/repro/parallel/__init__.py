@@ -8,6 +8,13 @@ factor-update is one task, dependencies follow the tree, and large
 fronts near the root can be gang-scheduled across all workers (the
 multifrontal analog of switching to parallel BLAS at the top of the
 tree).
+
+The static list scheduler is the paper-faithful reproduction path and
+the default (``parallel_factorize(..., backend="static")``).  The
+event-driven runtime in :mod:`repro.runtime` plugs in behind the same
+entry point as ``backend="dynamic"`` — work stealing, memory-aware
+admission, dispatch-time policy selection, fault injection — and
+produces bit-identical factors.
 """
 
 from repro.parallel.scheduler import (

@@ -25,7 +25,7 @@ from repro.matrices.csc import CSCMatrix
 from repro.multifrontal.frontal import assemble_front, assembly_bytes
 from repro.multifrontal.numeric import FURecord, NumericFactor
 from repro.parallel.workers import WorkerPool
-from repro.policies.base import Policy, Worker, estimate_policy_time
+from repro.policies.base import Policy, PolicyP1, Worker, estimate_policy_time
 from repro.symbolic.symbolic import SymbolicFactor, factor_update_flops
 
 __all__ = ["ScheduledTask", "ParallelResult", "list_schedule", "parallel_factorize"]
@@ -55,6 +55,15 @@ class ParallelResult:
     schedule: list[ScheduledTask]
     factor: NumericFactor | None = None
     worker_busy: list[float] = field(default_factory=list)
+    #: populated by ``backend="dynamic"``: the full RuntimeResult
+    #: (steal/admission/fault counters, spans, degraded task set)
+    runtime: object | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the dynamic runtime degraded any task to P1 after
+        injected GPU failures (always False for the static backend)."""
+        return bool(self.runtime is not None and self.runtime.degraded)
 
     def speedup_vs(self, serial_seconds: float) -> float:
         return serial_seconds / self.makespan if self.makespan > 0 else float("inf")
@@ -195,22 +204,56 @@ def parallel_factorize(
     *,
     gang_threshold: float = 5e7,
     gang_efficiency: float = 0.8,
+    backend: str = "static",
+    memory_budget: int | None = None,
+    faults=None,
 ) -> ParallelResult:
     """Schedule *and* numerically factor.
+
+    ``backend="static"`` (default) uses the paper-faithful critical-path
+    list scheduler; ``backend="dynamic"`` uses the event-driven runtime
+    of :mod:`repro.runtime` (work stealing, memory-aware admission via
+    ``memory_budget``, dispatch-time policy selection, optional fault
+    injection via ``faults``).
 
     The numeric result is schedule-independent (each supernode's F-U is
     computed exactly once, with the dtype implied by its resolved
     policy), so numerics run in postorder on a canonical worker while
-    times come from :func:`list_schedule`.
+    times come from the chosen scheduler — both backends therefore
+    produce bit-identical factors.  The one exception is a task the
+    dynamic runtime *degraded* after injected GPU failures: its numerics
+    run on the host P1 path, exactly as its simulated execution did.
     """
-    result = list_schedule(
-        sf, policy, pool,
-        gang_threshold=gang_threshold, gang_efficiency=gang_efficiency,
-    )
+    runtime = None
+    degraded_sids: frozenset = frozenset()
+    if backend == "static":
+        if memory_budget is not None or faults is not None:
+            raise ValueError(
+                "memory_budget/faults require backend='dynamic' "
+                "(the static scheduler binds tasks up front)"
+            )
+        result = list_schedule(
+            sf, policy, pool,
+            gang_threshold=gang_threshold, gang_efficiency=gang_efficiency,
+        )
+    elif backend == "dynamic":
+        from repro.runtime.engine import dynamic_schedule
+
+        runtime = dynamic_schedule(
+            sf, policy, pool, memory_budget=memory_budget, faults=faults,
+        )
+        degraded_sids = runtime.degraded_sids
+        result = ParallelResult(
+            runtime.makespan, list(runtime.schedule),
+            worker_busy=list(runtime.worker_busy), runtime=runtime,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r} (static | dynamic)")
     by_sid = {t.sid: t for t in result.schedule}
 
     gpu_worker = pool.gpu_worker()
     numeric_worker = gpu_worker if gpu_worker is not None else pool.workers[0]
+    fallback = PolicyP1()
     a_perm = a.permute_symmetric(sf.perm)
     a_lower = a_perm.lower_triangle()
     kids = sf.schildren()
@@ -224,11 +267,14 @@ def parallel_factorize(
         m = rows.size - k
         child_updates = [updates.pop(c) for c in kids[s] if c in updates]
         front = assemble_front(a_lower, sf, s, child_updates)
-        base = (
-            policy.resolve(m, k, numeric_worker)
-            if hasattr(policy, "resolve")
-            else policy
-        )
+        if s in degraded_sids:
+            base = fallback
+        else:
+            base = (
+                policy.resolve(m, k, numeric_worker)
+                if hasattr(policy, "resolve")
+                else policy
+            )
         l1, l2, u = base.apply(front, k, numeric_worker)
         panels[s] = front[:, :k].copy()
         if m > 0:

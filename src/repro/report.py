@@ -51,6 +51,7 @@ _ORDER = [
     "extension_cluster",
     "extension_solve_phase",
     "extension_serving",
+    "extension_runtime",
 ]
 
 

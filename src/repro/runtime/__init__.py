@@ -1,0 +1,44 @@
+"""Asynchronous event-driven task runtime for the supernodal DAG.
+
+The dynamic counterpart of :mod:`repro.parallel`'s static list
+scheduler, inspired by asynchronous task-based sparse Cholesky solvers
+(fan-both / StarPU-style runtimes): tasks are bound to workers at run
+time, not schedule time.
+
+* :mod:`repro.runtime.events` — event heap, virtual clock, and the
+  per-worker priority deques;
+* :mod:`repro.runtime.engine` — the discrete-event loop: work stealing
+  (steal-half from the back, priority = upward rank), memory-aware
+  admission (update-stack + device high-water vs. a byte budget), and
+  dispatch-time policy selection;
+* :mod:`repro.runtime.faults` — injectable GPU kernel failures and
+  transfer stalls with retry-once-then-degrade-to-P1 semantics.
+
+Use it through ``parallel_factorize(..., backend="dynamic")`` or
+:class:`~repro.multifrontal.solver.SparseCholeskySolver`'s
+``backend="dynamic"``; :func:`dynamic_schedule` is the timing-only
+entry point (the analog of :func:`repro.parallel.list_schedule`).
+"""
+
+from repro.runtime.engine import (
+    DynamicRuntime,
+    RuntimeResult,
+    RuntimeStats,
+    dynamic_schedule,
+    schedule_peak_update_bytes,
+)
+from repro.runtime.events import EventQueue, ReadyDeque, VirtualClock
+from repro.runtime.faults import FaultInjector, FaultStats
+
+__all__ = [
+    "DynamicRuntime",
+    "RuntimeResult",
+    "RuntimeStats",
+    "dynamic_schedule",
+    "schedule_peak_update_bytes",
+    "EventQueue",
+    "ReadyDeque",
+    "VirtualClock",
+    "FaultInjector",
+    "FaultStats",
+]

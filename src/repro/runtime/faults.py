@@ -1,0 +1,107 @@
+"""Injectable failures for the dynamic runtime.
+
+Two fault classes, both confined to the *simulated* GPU path (host
+float64 execution is assumed reliable — exactly the asymmetry real
+hybrid nodes have):
+
+* **kernel failures** — a device factor-update attempt aborts partway
+  through.  The runtime retries once on the same policy; a second
+  failure degrades the task to the CPU-only ``P1`` policy, so degraded
+  execution is a first-class outcome rather than an exception.
+* **transfer stalls** — an H2D/D2H path hiccup that adds latency to a
+  device task without failing it (PCIe contention, ECC scrub, a
+  neighbour hogging the DMA engine).
+
+Injection is deterministic: rate-driven faults draw from a per-supernode
+RNG seeded by ``(seed, sid, attempt)``, so the same configuration faults
+the same tasks no matter what order the runtime happens to dispatch
+them in — runs stay reproducible even under work stealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultInjector", "FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did during a run."""
+
+    kernel_failures: int = 0
+    transfer_stalls: int = 0
+    stall_seconds: float = 0.0
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault source consulted by the runtime at dispatch.
+
+    Parameters
+    ----------
+    kernel_failure_rate : float
+        Per-attempt probability that a device factor-update aborts.
+    transfer_stall_rate : float
+        Per-task probability of a transfer stall.
+    stall_seconds : float
+        Added latency of one stall.
+    fail_sids / stall_sids : frozenset of int
+        Supernodes that *always* fail (every attempt — the task ends up
+        degraded to P1) / always stall; for targeted tests.
+    failure_point : float
+        Fraction of the attempt's duration wasted before the failure is
+        detected (the retry still pays for the aborted work).
+    seed : int
+        Base seed of the per-(sid, attempt) draws.
+    """
+
+    kernel_failure_rate: float = 0.0
+    transfer_stall_rate: float = 0.0
+    stall_seconds: float = 2e-3
+    fail_sids: frozenset = frozenset()
+    stall_sids: frozenset = frozenset()
+    failure_point: float = 0.5
+    seed: int = 0
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self):
+        if not 0.0 <= self.kernel_failure_rate <= 1.0:
+            raise ValueError("kernel_failure_rate must be in [0, 1]")
+        if not 0.0 <= self.transfer_stall_rate <= 1.0:
+            raise ValueError("transfer_stall_rate must be in [0, 1]")
+        if not 0.0 <= self.failure_point <= 1.0:
+            raise ValueError("failure_point must be in [0, 1]")
+        self.fail_sids = frozenset(self.fail_sids)
+        self.stall_sids = frozenset(self.stall_sids)
+
+    # ------------------------------------------------------------------
+    def _draw(self, sid: int, attempt: int, salt: int) -> float:
+        rng = np.random.default_rng((self.seed, salt, sid, attempt))
+        return float(rng.random())
+
+    def kernel_fails(self, sid: int, attempt: int) -> bool:
+        """Does device attempt ``attempt`` (0-based) of ``sid`` abort?"""
+        if sid in self.fail_sids:
+            self.stats.kernel_failures += 1
+            return True
+        if self.kernel_failure_rate > 0.0 and (
+            self._draw(sid, attempt, 1) < self.kernel_failure_rate
+        ):
+            self.stats.kernel_failures += 1
+            return True
+        return False
+
+    def transfer_stall(self, sid: int) -> float:
+        """Extra seconds of transfer latency for device task ``sid``."""
+        stalled = sid in self.stall_sids or (
+            self.transfer_stall_rate > 0.0
+            and self._draw(sid, 0, 2) < self.transfer_stall_rate
+        )
+        if not stalled:
+            return 0.0
+        self.stats.transfer_stalls += 1
+        self.stats.stall_seconds += self.stall_seconds
+        return self.stall_seconds

@@ -126,6 +126,11 @@ class SolverService:
     policy : str or Policy
         Default placement policy for factorizations (per-request override
         via :meth:`submit`).
+    backend : str
+        How factorizations execute: ``"serial"`` (default), ``"static"``
+        list scheduler, or the ``"dynamic"`` event-driven runtime of
+        :mod:`repro.runtime`.  All three produce bit-identical factors,
+        so cached factors are shared across backends.
     ordering, amalgamation :
         Symbolic-analysis settings; part of the symbolic cache key.
     cache : FactorizationCache, optional
@@ -146,6 +151,7 @@ class SolverService:
         *,
         n_workers: int = 2,
         policy: str | Policy = "P1",
+        backend: str = "serial",
         ordering: str = "amd",
         amalgamation: AmalgamationParams | None = None,
         cache: FactorizationCache | None = None,
@@ -157,7 +163,12 @@ class SolverService:
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if backend not in ("serial", "static", "dynamic"):
+            raise ValueError(
+                f"unknown backend {backend!r} (serial | static | dynamic)"
+            )
         self.policy = policy
+        self.backend = backend
         self.ordering = ordering
         self.amalgamation = amalgamation
         self.cache = cache if cache is not None else FactorizationCache(
@@ -320,11 +331,12 @@ class SolverService:
             return SparseCholeskySolver.from_symbolic(
                 canonical, symbolic, policy=spec,
                 node=self._node_factory(), classifier=classifier,
+                backend=self.backend,
             )
         return SparseCholeskySolver(
             canonical, ordering=self.ordering, policy=spec,
             node=self._node_factory(), amalgamation=self.amalgamation,
-            classifier=classifier,
+            classifier=classifier, backend=self.backend,
         )
 
     def _process(self, req: SolveRequest, worker: int) -> None:

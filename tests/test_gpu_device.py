@@ -30,6 +30,48 @@ class TestPools:
         with pytest.raises(ValueError):
             pool.request(-1)
 
+    def test_release_drops_in_use_keeps_capacity(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 1e-3)
+        pool.request(100)
+        pool.request(40)
+        assert pool.in_use == 140
+        pool.release(40)
+        assert pool.in_use == 100
+        pool.release()                       # release everything
+        assert pool.in_use == 0
+        assert pool.capacity == 100          # buffer retained: no growth cost
+        assert pool.request(100) == 0.0
+        with pytest.raises(ValueError):
+            pool.release(-1)
+
+    def test_reset_peak_forgets_high_water(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 1e-3)
+        pool.request(500)
+        pool.release()
+        pool.reset_peak()
+        assert pool.capacity == 0
+        assert pool.stats.high_water == 0
+        assert pool.request(100) == 1e-3     # must really allocate again
+
+    def test_capacity_limit_failure_leaves_accounting_clean(self):
+        pool = HighWaterMarkPool(alloc_time=lambda b: 0.0, capacity_limit=1000)
+        pool.request(600)
+        with pytest.raises(DeviceMemoryError):
+            pool.request(1001)
+        assert pool.in_use == 600            # failed request not charged
+        assert pool.capacity == 600
+        assert pool.request(1000) == 0.0     # at the limit still fits
+
+    def test_per_call_pool_release_and_limit(self):
+        pool = PerCallPool(alloc_time=lambda b: 1e-4, capacity_limit=100)
+        pool.request(60)
+        pool.release(60)
+        assert pool.in_use == 0
+        with pytest.raises(DeviceMemoryError):
+            pool.request(101)
+        pool.reset_peak()
+        assert pool.stats.high_water == 0
+
     def test_per_call_pool_always_pays(self):
         pool = PerCallPool(alloc_time=lambda b: 2e-3)
         assert pool.request(10) == 2e-3

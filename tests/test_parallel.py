@@ -141,3 +141,41 @@ class TestParallelFactorize:
         res = list_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
         starts = [t.start for t in res.schedule]
         assert starts == sorted(starts)
+
+
+class TestScheduleDeterminism:
+    """Identical placements across repeated runs — the static scheduler
+    is relied on as a reproducible baseline by the dynamic runtime's
+    comparison benches, so tie-breaking must be deterministic."""
+
+    @staticmethod
+    def _placements(result):
+        return [(t.sid, t.worker, t.start, t.end, t.policy, t.gang)
+                for t in result.schedule]
+
+    def test_identical_across_runs(self, problem):
+        _, sf = problem
+        runs = [
+            list_schedule(sf, BaselineHybrid(), make_worker_pool(3, 1),
+                          gang_threshold=np.inf)
+            for _ in range(3)
+        ]
+        first = self._placements(runs[0])
+        for r in runs[1:]:
+            assert self._placements(r) == first
+            assert r.makespan == runs[0].makespan
+            assert r.worker_busy == runs[0].worker_busy
+
+    def test_gang_branch_deterministic(self, problem):
+        _, sf = problem
+        # threshold low enough that the big root fronts gang-schedule
+        runs = [
+            list_schedule(sf, make_policy("P1"), make_worker_pool(4, 0),
+                          gang_threshold=2e4)
+            for _ in range(3)
+        ]
+        assert any(t.gang for t in runs[0].schedule)
+        assert any(t.worker == -1 for t in runs[0].schedule)
+        first = self._placements(runs[0])
+        for r in runs[1:]:
+            assert self._placements(r) == first

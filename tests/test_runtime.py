@@ -1,0 +1,278 @@
+"""The dynamic event-driven runtime: events, stealing, admission, faults."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d
+from repro.multifrontal import solve_factored
+from repro.parallel import list_schedule, make_worker_pool, parallel_factorize
+from repro.policies import make_policy
+from repro.runtime import (
+    EventQueue,
+    FaultInjector,
+    ReadyDeque,
+    dynamic_schedule,
+    schedule_peak_update_bytes,
+)
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.stack import estimate_peak_update_bytes
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = grid_laplacian_3d(6, 6, 6)
+    return a, symbolic_factorize(a, ordering="nd")
+
+
+@pytest.fixture(scope="module")
+def lap2d_32():
+    a = grid_laplacian_2d(32, 32)
+    return a, symbolic_factorize(a, ordering="nd")
+
+
+class TestEventPrimitives:
+    def test_event_queue_orders_by_time_then_seq(self):
+        q = EventQueue()
+        q.push(2.0, "late")
+        q.push(1.0, "a")
+        q.push(1.0, "b")  # same time: FIFO by insertion
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "late"]
+        assert q.clock.now == 2.0
+
+    def test_clock_never_rewinds(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.clock.advance_to(4.0)
+
+    def test_deque_pops_highest_priority(self):
+        d = ReadyDeque()
+        d.push(1.0, 0, "low")
+        d.push(9.0, 1, "high")
+        d.push(5.0, 2, "mid")
+        assert d.pop_front() == "high"
+        assert d.pop_front() == "mid"
+
+    def test_steal_back_takes_low_priority_half(self):
+        d = ReadyDeque()
+        for i, pr in enumerate([9.0, 7.0, 5.0, 3.0, 1.0]):
+            d.push(pr, i, f"t{i}")
+        loot = d.steal_back(2)
+        assert loot == ["t3", "t4"]  # the lowest-priority tasks
+        assert len(d) == 3
+        assert d.pop_front() == "t0"
+
+
+class TestDynamicSchedule:
+    def test_dependencies_respected(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(3, 0))
+        finish = {t.sid: t.end for t in res.schedule}
+        start = {t.sid: t.start for t in res.schedule}
+        kids = sf.schildren()
+        for s in range(sf.n_supernodes):
+            for c in kids[s]:
+                assert finish[c] <= start[s] + 1e-15
+
+    def test_every_supernode_exactly_once(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(4, 0))
+        sids = sorted(t.sid for t in res.schedule)
+        assert sids == list(range(sf.n_supernodes))
+
+    def test_single_worker_equals_serial_sum(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(1, 0))
+        assert res.stats.steals == 0
+        assert res.makespan == pytest.approx(
+            sum(t.elapsed for t in res.schedule)
+        )
+
+    def test_deterministic_across_runs(self, problem):
+        _, sf = problem
+        runs = [
+            dynamic_schedule(sf, make_policy("P1"), make_worker_pool(4, 0))
+            for _ in range(3)
+        ]
+        first = [(t.sid, t.worker, t.start, t.end) for t in runs[0].schedule]
+        for r in runs[1:]:
+            assert [(t.sid, t.worker, t.start, t.end) for t in r.schedule] == first
+            assert r.stats == runs[0].stats
+
+    def test_workers_bootstrap_by_stealing(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(4, 0))
+        assert res.stats.steals >= 1
+        assert res.stats.stolen_tasks >= res.stats.steals
+        # stealing actually spread the work
+        assert len({t.worker for t in res.schedule}) == 4
+
+    def test_makespan_competitive_with_static(self, problem):
+        _, sf = problem
+        pool = make_worker_pool(4, 0)
+        static = list_schedule(sf, make_policy("P1"), pool,
+                               gang_threshold=np.inf)
+        dyn = dynamic_schedule(sf, make_policy("P1"), pool)
+        assert dyn.makespan <= 1.3 * static.makespan
+
+    def test_worker_busy_accounting(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(3, 0))
+        per_worker = [0.0] * 3
+        for t in res.schedule:
+            per_worker[t.worker] += t.elapsed
+        assert per_worker == pytest.approx(res.worker_busy)
+
+
+class TestMemoryAdmission:
+    def test_budget_honored_where_static_exceeds_it(self, lap2d_32):
+        _, sf = lap2d_32
+        pool = make_worker_pool(4, 0)
+        static = list_schedule(sf, make_policy("P1"), pool,
+                               gang_threshold=np.inf)
+        static_peak = schedule_peak_update_bytes(sf, static.schedule)
+        serial_peak = estimate_peak_update_bytes(sf)
+        budget = int(0.9 * static_peak)
+        assert serial_peak < budget < static_peak  # scenario is meaningful
+        res = dynamic_schedule(
+            sf, make_policy("P1"), pool, memory_budget=budget
+        )
+        assert res.stats.peak_admitted_bytes <= budget
+        assert res.stats.forced_admissions == 0
+        assert res.stats.admission_deferrals > 0
+        assert len(res.schedule) == sf.n_supernodes
+
+    def test_unconstrained_run_has_no_deferrals(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(4, 0))
+        assert res.stats.admission_deferrals == 0
+        assert res.stats.forced_admissions == 0
+
+    def test_infeasible_budget_forces_completion(self, lap2d_32):
+        _, sf = lap2d_32
+        res = dynamic_schedule(
+            sf, make_policy("P1"), make_worker_pool(4, 0), memory_budget=1
+        )
+        assert len(res.schedule) == sf.n_supernodes
+        assert res.stats.forced_admissions > 0
+
+    def test_serial_budget_peak_matches_liu_accounting(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(1, 0))
+        assert schedule_peak_update_bytes(sf, res.schedule) == \
+            res.stats.peak_stack_bytes
+
+
+class TestFaults:
+    def _fail_sids(self, sf, n=3):
+        mk = [(s, sf.update_size(s) * sf.width(s))
+              for s in range(sf.n_supernodes)]
+        return frozenset(s for s, _ in sorted(mk, key=lambda t: -t[1])[:n])
+
+    def test_targeted_failures_degrade_not_raise(self, problem):
+        _, sf = problem
+        fail = self._fail_sids(sf)
+        inj = FaultInjector(fail_sids=fail, seed=1)
+        res = dynamic_schedule(sf, make_policy("P3"), make_worker_pool(2, 2),
+                               faults=inj)
+        assert res.degraded
+        assert res.degraded_sids == fail
+        assert res.stats.degraded_tasks == len(fail)
+        assert res.stats.kernel_retries >= len(fail)
+        assert len(res.schedule) == sf.n_supernodes
+        # the degraded fronts ran on the host path
+        policies = {t.sid: t.policy for t in res.schedule}
+        assert all(policies[s] == "P1" for s in fail)
+
+    def test_transfer_stalls_counted_and_slow(self, problem):
+        _, sf = problem
+        clean = dynamic_schedule(sf, make_policy("P3"), make_worker_pool(2, 2))
+        inj = FaultInjector(transfer_stall_rate=0.3, seed=7)
+        res = dynamic_schedule(sf, make_policy("P3"), make_worker_pool(2, 2),
+                               faults=inj)
+        assert res.stats.transfer_stalls > 0
+        assert res.stats.transfer_stalls == inj.stats.transfer_stalls
+        assert res.makespan > clean.makespan
+
+    def test_fault_outcomes_deterministic(self, problem):
+        _, sf = problem
+        runs = [
+            dynamic_schedule(
+                sf, make_policy("P3"), make_worker_pool(2, 2),
+                faults=FaultInjector(kernel_failure_rate=0.15, seed=5),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].degraded_sids == runs[1].degraded_sids
+        assert runs[0].makespan == runs[1].makespan
+
+    def test_cpu_policy_never_faults(self, problem):
+        _, sf = problem
+        inj = FaultInjector(kernel_failure_rate=1.0, seed=0)
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(2, 2),
+                               faults=inj)
+        assert not res.degraded  # P1 never touches the device
+
+
+class TestParallelFactorizeDynamic:
+    def test_bitwise_identical_to_static(self, problem):
+        a, sf = problem
+        pol = make_policy("P2")
+        rs = parallel_factorize(a, sf, pol, make_worker_pool(2, 2),
+                                backend="static")
+        rd = parallel_factorize(a, sf, pol, make_worker_pool(2, 2),
+                                backend="dynamic")
+        for ps, pd in zip(rs.factor.panels, rd.factor.panels):
+            assert np.array_equal(ps, pd)
+
+    def test_degraded_factor_still_solves(self, problem):
+        a, sf = problem
+        fail = TestFaults()._fail_sids(sf)
+        res = parallel_factorize(
+            a, sf, make_policy("P3"), make_worker_pool(2, 2),
+            backend="dynamic", faults=FaultInjector(fail_sids=fail, seed=2),
+        )
+        assert res.degraded
+        b = np.ones(a.n_rows)
+        x = solve_factored(res.factor, b)
+        # raw solve carries the GPU policies' single-precision error ...
+        assert np.abs(a.matvec(x) - b).max() < 1e-4
+        # ... and refinement recovers double precision as usual
+        from repro.multifrontal.refine import iterative_refinement
+
+        ref = iterative_refinement(a, res.factor, b)
+        assert ref.converged
+        assert ref.final_residual < 1e-12
+
+    def test_static_rejects_dynamic_only_kwargs(self, problem):
+        a, sf = problem
+        with pytest.raises(ValueError, match="dynamic"):
+            parallel_factorize(a, sf, make_policy("P1"),
+                               make_worker_pool(2, 0), memory_budget=10**9)
+
+    def test_unknown_backend_rejected(self, problem):
+        a, sf = problem
+        with pytest.raises(ValueError, match="backend"):
+            parallel_factorize(a, sf, make_policy("P1"),
+                               make_worker_pool(2, 0), backend="bogus")
+
+
+class TestRuntimeObservability:
+    def test_metrics_export(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(4, 0))
+        m = res.metrics()
+        assert m.counter("tasks") == sf.n_supernodes
+        assert m.counter("steals") == res.stats.steals
+        rep = m.report()
+        assert rep["gauges"]["peak_stack_bytes"] > 0
+        assert "task" in rep["latency"]
+
+    def test_chrome_trace_spans(self, problem):
+        _, sf = problem
+        res = dynamic_schedule(sf, make_policy("P1"), make_worker_pool(2, 0))
+        trace = res.chrome_trace()
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == sf.n_supernodes
+        assert len(res.spans) == sf.n_supernodes

@@ -468,3 +468,26 @@ class TestMetrics:
         assert "total" in rep["latency"]
         assert rep["latency"]["total"]["count"] == 1
         assert rep["cache"]["entries"] == 2    # one symbolic + one numeric
+
+
+class TestBackendSelection:
+    def test_dynamic_backend_solves_correctly(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=2, policy="P1",
+                           backend="dynamic") as svc:
+            out = svc.solve(lap2d_small, b)
+        assert np.abs(lap2d_small.matvec(out.x) - b).max() < 1e-10
+
+    def test_backends_share_cached_factors(self, lap2d_small):
+        # factors are bit-identical across backends, so a cache populated
+        # by one backend serves the others
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1", backend="static") as svc:
+            first = svc.solve(lap2d_small, b)
+            second = svc.solve(lap2d_small, b)
+        assert first.tier == "miss"
+        assert second.tier in ("numeric", "batched")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SolverService(n_workers=1, backend="bogus")
