@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     python -m repro train --samples 400 --out clf.json
     python -m repro serve-bench --requests 60  # solver-service benchmark
     python -m repro runtime-bench --cpus 4     # static vs dynamic runtime
+    python -m repro verify --pairs default     # differential verification
+    python -m repro verify --fuzz --budget-seconds 120
 
 Every subcommand prints plain text and returns a process exit code, so
 the tool scripts cleanly.
@@ -377,6 +379,43 @@ def cmd_runtime_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Differential verification: config lattice, invariants, fuzzing."""
+    from repro.verify import format_suite, run_fuzz, verify_suite
+
+    if args.fuzz:
+        report = run_fuzz(
+            budget_seconds=args.budget_seconds,
+            seed=args.seed,
+            max_cases=args.max_cases,
+            witness_dir=args.witness_dir or None,
+        )
+        print(
+            f"fuzz: {report.cases_run} case(s) in "
+            f"{report.elapsed_seconds:.1f}s, {len(report.failures)} failure(s)"
+        )
+        for f in report.failures:
+            shrunk = (
+                f" (shrunk from n={f.shrunk_from} to n={f.witness.n_rows})"
+                if f.shrunk_from else ""
+            )
+            print(f"  {f.case_label}: {f.check}{shrunk}")
+            for v in f.violations[:3]:
+                print(f"    {v}")
+            if f.witness_path:
+                print(f"    witness: {f.witness_path}")
+        return 0 if report.ok else 1
+
+    result = verify_suite(
+        args.pairs,
+        scale=args.scale,
+        invariants=not args.no_invariants,
+        corpus_dir=args.corpus or None,
+    )
+    print(format_suite(result))
+    return 0 if result.ok else 1
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -465,6 +504,32 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--seed", type=int, default=0)
     rb.add_argument("--trace", default="",
                     help="write the last dynamic run's Chrome trace here")
+
+    v = sub.add_parser(
+        "verify",
+        help="differential verification: config lattice, invariants, fuzzing",
+    )
+    v.add_argument("--pairs", default="default",
+                   choices=("default", "all", "bitwise", "normwise"),
+                   help="which configuration pairs to check")
+    v.add_argument("--scale", default="small", choices=("small", "full"),
+                   help="generator-suite size")
+    v.add_argument("--no-invariants", action="store_true",
+                   help="skip the invariant checkers (pairs only)")
+    v.add_argument("--corpus", default="",
+                   help="regression-corpus directory "
+                        "(default: tests/corpus in the repo)")
+    v.add_argument("--fuzz", action="store_true",
+                   help="fuzz with adversarial generators instead of the "
+                        "fixed suite")
+    v.add_argument("--budget-seconds", type=float, default=60.0,
+                   help="fuzzing time budget")
+    v.add_argument("--max-cases", type=int, default=None,
+                   help="cap on generated fuzz cases")
+    v.add_argument("--seed", type=int, default=0,
+                   help="first fuzz case seed")
+    v.add_argument("--witness-dir", default="",
+                   help="persist shrunk failure witnesses here")
     return p
 
 
@@ -478,6 +543,7 @@ _COMMANDS = {
     "train": cmd_train,
     "serve-bench": cmd_serve_bench,
     "runtime-bench": cmd_runtime_bench,
+    "verify": cmd_verify,
 }
 
 

@@ -129,6 +129,26 @@ class RuntimeResult:
             m.span(span.name, span.category, span.engine, span.start, span.end)
         return m
 
+    def validate(self, sf) -> list[str]:
+        """Verify this schedule against the symbolic tree's invariants.
+
+        Delegates to :mod:`repro.verify.invariants`: every supernode ran
+        exactly once, no parent started before its children finished,
+        and the execution order conserves the update stack (each
+        extend-add produced once and consumed exactly once).  Returns
+        the list of violations (empty = valid).
+        """
+        from repro.verify.invariants import (
+            check_schedule_precedence,
+            check_update_conservation,
+        )
+
+        order = [t.sid for t in sorted(self.schedule, key=lambda t: t.end)]
+        return (
+            check_schedule_precedence(sf, self.schedule)
+            + check_update_conservation(sf, order)
+        )
+
     def chrome_trace(self) -> dict:
         from repro.gpu.trace import tasks_to_chrome_trace
 

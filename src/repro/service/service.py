@@ -144,6 +144,19 @@ class SolverService:
     node_factory : callable, optional
         Builds the :class:`SimulatedNode` used by each factorization
         (one per factorization, so workers never share engine state).
+    faults : FaultInjector, optional
+        Injected GPU faults forwarded to every factorization; requires
+        ``backend="dynamic"`` (the only backend that can degrade and
+        retry mid-run).  A fault-degraded factor is produced by the P1
+        fallback path, so it is *not* published under the requested
+        policy's numeric cache key.
+    shadow_verify_rate : float
+        Fraction of requests (0..1) whose resolved factor is re-derived
+        under an alternate backend and fingerprint-compared — the
+        serving-layer hook into :mod:`repro.verify`.  Sampling is a
+        deterministic accumulator, so a rate of 0.25 checks exactly
+        every 4th processed request.  Outcomes land in the
+        ``shadow_checks`` / ``shadow_mismatches`` counters.
     """
 
     def __init__(
@@ -160,6 +173,8 @@ class SolverService:
         max_batch: int = 32,
         metrics: ServiceMetrics | None = None,
         node_factory=None,
+        faults=None,
+        shadow_verify_rate: float = 0.0,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -167,8 +182,16 @@ class SolverService:
             raise ValueError(
                 f"unknown backend {backend!r} (serial | static | dynamic)"
             )
+        if faults is not None and backend != "dynamic":
+            raise ValueError("faults require backend='dynamic'")
+        if not 0.0 <= shadow_verify_rate <= 1.0:
+            raise ValueError("shadow_verify_rate must be in [0, 1]")
         self.policy = policy
         self.backend = backend
+        self.faults = faults
+        self.shadow_verify_rate = float(shadow_verify_rate)
+        self._shadow_acc = 0.0
+        self._shadow_lock = threading.Lock()
         self.ordering = ordering
         self.amalgamation = amalgamation
         self.cache = cache if cache is not None else FactorizationCache(
@@ -316,7 +339,11 @@ class SolverService:
     def _now(self) -> float:
         return time.perf_counter() - self._t0
 
-    def _build_solver(self, canonical, symbolic, spec) -> SparseCholeskySolver:
+    def _build_solver(
+        self, canonical, symbolic, spec, *, backend=None
+    ) -> SparseCholeskySolver:
+        backend = backend if backend is not None else self.backend
+        faults = self.faults if backend == "dynamic" else None
         classifier = None
         if not isinstance(spec, Policy) and str(spec).lower() == "model":
             with self._classifier_lock:
@@ -331,12 +358,12 @@ class SolverService:
             return SparseCholeskySolver.from_symbolic(
                 canonical, symbolic, policy=spec,
                 node=self._node_factory(), classifier=classifier,
-                backend=self.backend,
+                backend=backend, faults=faults,
             )
         return SparseCholeskySolver(
             canonical, ordering=self.ordering, policy=spec,
             node=self._node_factory(), amalgamation=self.amalgamation,
-            classifier=classifier, backend=self.backend,
+            classifier=classifier, backend=backend, faults=faults,
         )
 
     def _process(self, req: SolveRequest, worker: int) -> None:
@@ -349,6 +376,9 @@ class SolverService:
             return
 
         factor, tier, degraded = self._resolve_factor(req, engine)
+
+        if not degraded and self._shadow_sample():
+            self._shadow_verify(req, factor, engine)
 
         batch = [req]
         if not req.refine and self.max_batch > 1:
@@ -388,6 +418,55 @@ class SolverService:
                     timings={"total": done - r.submitted},
                 )
             )
+
+    # -- shadow verification ----------------------------------------------
+    def _shadow_sample(self) -> bool:
+        """Deterministic rate sampler (error-diffusion accumulator)."""
+        if self.shadow_verify_rate <= 0.0:
+            return False
+        with self._shadow_lock:
+            self._shadow_acc += self.shadow_verify_rate
+            if self._shadow_acc >= 1.0:
+                self._shadow_acc -= 1.0
+                return True
+        return False
+
+    def _shadow_verify(self, req: SolveRequest, factor, engine: str) -> None:
+        """Re-factor under an alternate backend; fingerprints must agree.
+
+        Serial, static and dynamic backends promise bit-identical
+        factors (see :mod:`repro.verify.lattice`), so a mismatch means
+        the factor the service is about to serve — possibly from cache —
+        differs from a freshly computed reference.  Mismatches are
+        counted, never raised: shadow verification is advisory.
+        """
+        from repro.verify.lattice import factor_fingerprint
+
+        alt_backend = "static" if self.backend == "serial" else "serial"
+        t0 = self._now()
+        try:
+            look = self.cache.lookup(req.sym_key, req.num_key)
+            solver = self._build_solver(
+                req.canonical, look.symbolic, req.policy_spec,
+                backend=alt_backend,
+            )
+            if solver.symbolic is None:
+                solver.analyze()
+            solver.factorize()
+            mismatch = (
+                factor_fingerprint(factor) != factor_fingerprint(solver.factor)
+            )
+        except Exception:
+            # a reference that cannot even be computed is itself a signal
+            mismatch = True
+        t1 = self._now()
+        self.metrics.incr("shadow_checks")
+        self.metrics.observe("shadow_verify", t1 - t0)
+        self.metrics.span(
+            f"req{req.request_id}:shadow", "shadow_verify", engine, t0, t1
+        )
+        if mismatch:
+            self.metrics.incr("shadow_mismatches")
 
     def _expire(self, req: SolveRequest) -> None:
         self.metrics.incr("timeouts")
@@ -461,6 +540,14 @@ class SolverService:
                 node=self._node_factory(),
             )
             solver.factorize()
+        else:
+            # the dynamic runtime degrades individual tasks to P1 after
+            # repeated injected GPU failures *without raising* — those
+            # factors are partially P1-produced and must not be published
+            # under the non-degraded policy key either
+            if solver.parallel is not None and solver.parallel.degraded:
+                degraded = True
+                self.metrics.incr("degraded")
         t1 = self._now()
         self.metrics.incr("numeric_factorizations")
         self.metrics.observe("factorize", t1 - t0)

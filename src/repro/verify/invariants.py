@@ -1,0 +1,341 @@
+"""Composable invariant checkers for the factorization pipeline.
+
+Each checker inspects one structural promise of the system and returns a
+list of human-readable violations (empty = invariant holds), so they
+compose into suites, the fuzz driver, and the shrinker's predicates
+without raising mid-run.  The checkers are deliberately *independent* of
+the code they check: update-stack conservation, for instance, re-derives
+the produced/consumed ledger from the symbolic tree rather than trusting
+the numeric driver's own accounting.
+
+Checkers
+--------
+* :func:`check_symbolic_structure` — supernode partition, postorder
+  validity, and the extend-add containment (every child's update rows
+  appear in its parent's front).
+* :func:`check_update_conservation` — every update matrix produced by a
+  schedule is consumed exactly once, by the producer's parent, after it
+  was produced; nothing is left on the stack at the end.
+* :func:`check_schedule_precedence` — a timed (possibly parallel)
+  schedule runs every supernode exactly once and never starts a parent
+  before its children finished.
+* :func:`check_allocator_state` — after a run, every device pool has
+  released what it held, and the grow-only capacity matches its own
+  high-water statistics.
+* :func:`check_cache_key_purity` — same cache key implies same factor
+  bytes: factoring the same matrix twice under one config fingerprints
+  equal, and the key derivation is deterministic.
+* :func:`check_factor_residual` — the factor actually factors the
+  matrix (randomized ``L L^T v`` vs ``P A P^T v`` probe); this is the
+  oracle that catches an injected kernel bug on *both* sides of a
+  bitwise pair.
+* :func:`check_degraded_still_solves` — under total injected GPU kernel
+  failure the dynamic backend degrades to P1 but still produces a
+  factor that solves to double-precision backward error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+from repro.symbolic.etree import NO_PARENT
+from repro.symbolic.symbolic import SymbolicFactor
+
+__all__ = [
+    "InvariantReport",
+    "check_symbolic_structure",
+    "check_update_conservation",
+    "check_schedule_precedence",
+    "check_allocator_state",
+    "check_cache_key_purity",
+    "check_factor_residual",
+    "check_degraded_still_solves",
+    "run_invariants",
+]
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one named invariant check."""
+
+    name: str
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        msg = f"[{status}] {self.name}"
+        for v in self.violations:
+            msg += f"\n    {v}"
+        return msg
+
+
+def _report(name: str, violations: list[str]) -> InvariantReport:
+    return InvariantReport(name=name, ok=not violations, violations=violations)
+
+
+# ----------------------------------------------------------------------
+# structural invariants
+# ----------------------------------------------------------------------
+def check_symbolic_structure(sf: SymbolicFactor) -> list[str]:
+    """Supernode partition, postorder and extend-add containment."""
+    violations: list[str] = []
+    try:
+        sf.validate()
+    except AssertionError as exc:
+        violations.append(f"SymbolicFactor.validate failed: {exc}")
+        return violations
+
+    n_super = sf.n_supernodes
+    if sorted(int(s) for s in sf.spost) != list(range(n_super)):
+        violations.append("spost is not a permutation of the supernodes")
+    pos = {int(s): i for i, s in enumerate(sf.spost)}
+    for s in range(n_super):
+        p = int(sf.sparent[s])
+        if p == NO_PARENT:
+            continue
+        if not 0 <= p < n_super:
+            violations.append(f"supernode {s}: parent {p} out of range")
+            continue
+        if pos.get(p, -1) <= pos.get(s, -1):
+            violations.append(
+                f"spost visits parent {p} before its child {s}"
+            )
+        k = sf.width(s)
+        update_rows = sf.rows[s][k:]
+        missing = update_rows[~np.isin(update_rows, sf.rows[p])]
+        if missing.size:
+            violations.append(
+                f"extend-add containment: rows {missing[:5].tolist()} of "
+                f"supernode {s}'s update are absent from parent {p}'s front"
+            )
+        if update_rows.size and int(update_rows[0]) >= int(sf.super_ptr[p + 1]):
+            violations.append(
+                f"supernode {s}: first update row {int(update_rows[0])} is "
+                f"past its parent {p}'s columns — wrong parent link"
+            )
+    return violations
+
+
+def check_update_conservation(
+    sf: SymbolicFactor, order: np.ndarray | list[int] | None = None
+) -> list[str]:
+    """Every extend-add produced exactly once and consumed exactly once."""
+    violations: list[str] = []
+    schedule = sf.spost if order is None else np.asarray(order, dtype=np.int64)
+    if sorted(int(s) for s in schedule) != list(range(sf.n_supernodes)):
+        return ["schedule is not a permutation of the supernodes"]
+    kids = sf.schildren()
+    produced: set[int] = set()
+    consumed: set[int] = set()
+    for s in schedule:
+        s = int(s)
+        for c in kids[s]:
+            if c not in produced:
+                violations.append(
+                    f"supernode {s} assembles child {c} before it was factored"
+                )
+            elif c in consumed:
+                violations.append(f"child {c} consumed twice")
+            consumed.add(c)
+        produced.add(s)
+    leftovers = {
+        s for s in produced - consumed if int(sf.sparent[s]) != NO_PARENT
+    }
+    if leftovers:
+        violations.append(
+            f"unconsumed update matrices at end of schedule: "
+            f"{sorted(leftovers)[:8]}"
+        )
+    return violations
+
+
+def check_schedule_precedence(sf: SymbolicFactor, schedule) -> list[str]:
+    """Timed-schedule sanity: each sid once, parents after children.
+
+    ``schedule`` is a list of objects with ``sid``, ``start`` and ``end``
+    attributes (:class:`repro.parallel.scheduler.ScheduledTask`).
+    """
+    violations: list[str] = []
+    seen: dict[int, object] = {}
+    for t in schedule:
+        if t.sid in seen:
+            violations.append(f"supernode {t.sid} scheduled twice")
+        seen[t.sid] = t
+        if t.end < t.start:
+            violations.append(
+                f"supernode {t.sid}: end {t.end} precedes start {t.start}"
+            )
+    missing = set(range(sf.n_supernodes)) - set(seen)
+    if missing:
+        violations.append(f"unscheduled supernodes: {sorted(missing)[:8]}")
+        return violations
+    for s in range(sf.n_supernodes):
+        p = int(sf.sparent[s])
+        if p == NO_PARENT:
+            continue
+        if seen[p].start < seen[s].end - 1e-12:
+            violations.append(
+                f"parent {p} starts at {seen[p].start} before child {s} "
+                f"ends at {seen[s].end}"
+            )
+    return violations
+
+
+def check_allocator_state(node) -> list[str]:
+    """Post-run pool consistency on every simulated GPU of ``node``."""
+    violations: list[str] = []
+    for g, gpu in enumerate(getattr(node, "gpus", [])):
+        for pool_name in ("device_pool", "pinned_pool"):
+            pool = getattr(gpu, pool_name, None)
+            if pool is None:
+                continue
+            in_use = getattr(pool, "in_use", 0)
+            capacity = getattr(pool, "capacity", 0)
+            stats = getattr(pool, "stats", None)
+            if in_use < 0:
+                violations.append(
+                    f"gpu{g}.{pool_name}: negative in_use {in_use}"
+                )
+            if in_use > capacity:
+                violations.append(
+                    f"gpu{g}.{pool_name}: in_use {in_use} exceeds "
+                    f"capacity {capacity}"
+                )
+            if stats is not None and capacity > stats.high_water:
+                violations.append(
+                    f"gpu{g}.{pool_name}: capacity {capacity} above its own "
+                    f"high-water statistic {stats.high_water}"
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# behavioural invariants (these run factorizations)
+# ----------------------------------------------------------------------
+def check_cache_key_purity(a: CSCMatrix, config=None) -> list[str]:
+    """Same key => same factor bytes, and key derivation is pure."""
+    from repro.service.keys import matrix_key
+    from repro.verify.lattice import VerifyConfig, factor_fingerprint
+
+    violations: list[str] = []
+    key1, _ = matrix_key(a)
+    key2, _ = matrix_key(a.copy())
+    if key1 != key2:
+        violations.append("matrix_key is not deterministic on equal content")
+    config = config if config is not None else VerifyConfig()
+    prints = []
+    for _ in range(2):
+        solver = config.build_solver(a)
+        solver.analyze().factorize()
+        prints.append(factor_fingerprint(solver.factor))
+    if prints[0] != prints[1]:
+        violations.append(
+            f"cache-key purity: two factorizations under {config.label} "
+            "produced different factor bytes for one values key"
+        )
+    return violations
+
+
+def check_factor_residual(
+    a: CSCMatrix, config=None, *, tol: float | None = None
+) -> list[str]:
+    """The factor reproduces ``P A P^T`` to a policy-appropriate tolerance."""
+    from repro.verify.lattice import VerifyConfig
+
+    config = config if config is not None else VerifyConfig()
+    if tol is None:
+        tol = 1e-8 if config.policy.upper() == "P1" or config.precision == "dp" else 5e-3
+    solver = config.build_solver(a)
+    solver.analyze().factorize()
+    res = solver.factor.residual_norm(solver.a)
+    if res > tol:
+        return [
+            f"factor residual {res:.3e} exceeds {tol:.3e} under {config.label}"
+        ]
+    return []
+
+
+def check_degraded_still_solves(
+    a: CSCMatrix, *, tol: float = 1e-9
+) -> list[str]:
+    """Total injected GPU failure must degrade — not break — the solve."""
+    from repro.runtime.faults import FaultInjector
+    from repro.verify.lattice import (
+        VerifyConfig,
+        normwise_backward_error,
+    )
+
+    violations: list[str] = []
+    config = VerifyConfig(policy="P4", backend="dynamic")
+    solver = config.build_solver(
+        a, faults=FaultInjector(kernel_failure_rate=1.0)
+    )
+    solver.analyze().factorize()
+    runtime = getattr(solver.parallel, "runtime", None)
+    had_gpu_work = any(
+        solver.symbolic.update_size(s) > 0
+        for s in range(solver.symbolic.n_supernodes)
+    )
+    if had_gpu_work and runtime is not None and not runtime.degraded_sids:
+        # the policy may legitimately place every call on the CPU for
+        # tiny fronts; only flag when device work was actually planned
+        planned_device = any(
+            t.policy != "P1" for t in solver.parallel.schedule
+        )
+        if planned_device:
+            violations.append(
+                "total kernel-failure injection produced no degraded tasks"
+            )
+    b = np.ones(a.n_rows)
+    res = solver.solve_refined(b, max_iter=10)
+    eta = normwise_backward_error(solver.a, res.x, b)
+    if eta > tol:
+        violations.append(
+            f"degraded run failed to solve: backward error {eta:.3e} "
+            f"exceeds {tol:.3e}"
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# suite entry point
+# ----------------------------------------------------------------------
+def run_invariants(
+    a: CSCMatrix, *, include_behavioural: bool = True
+) -> list[InvariantReport]:
+    """Run the applicable invariant checkers on one matrix."""
+    from repro.symbolic.stack import stack_minimizing_postorder
+    from repro.symbolic.symbolic import symbolic_factorize
+    from repro.verify.lattice import VerifyConfig
+
+    full = a if a.is_structurally_symmetric() else a.symmetrize_from_lower()
+    sf = symbolic_factorize(full, ordering="amd")
+    reports = [
+        _report("symbolic-structure", check_symbolic_structure(sf)),
+        _report("update-conservation/post", check_update_conservation(sf)),
+        _report(
+            "update-conservation/liu",
+            check_update_conservation(sf, stack_minimizing_postorder(sf)),
+        ),
+    ]
+    if include_behavioural:
+        config = VerifyConfig()
+        solver = config.build_solver(full)
+        solver.analyze().factorize()
+        reports.append(
+            _report("allocator-state", check_allocator_state(solver.node))
+        )
+        reports.append(
+            _report("cache-key-purity", check_cache_key_purity(full, config))
+        )
+        reports.append(
+            _report("factor-residual", check_factor_residual(full, config))
+        )
+        reports.append(
+            _report("degraded-still-solves", check_degraded_still_solves(full))
+        )
+    return reports

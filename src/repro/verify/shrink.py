@@ -1,0 +1,147 @@
+"""Delta-debugging shrinker for failing matrices.
+
+When the fuzz driver finds a matrix that violates a promise, the raw
+witness is typically hundreds of rows of random sparsity — useless in a
+bug report.  ``shrink_matrix`` minimizes it while the failure persists:
+
+1. **index reduction** (the ddmin loop): repeatedly try dropping blocks
+   of row/column indices, keeping the *principal submatrix* on the
+   surviving indices.  A principal submatrix of an SPD matrix is SPD, so
+   every candidate is a legal input by construction.  Block sizes halve
+   from n/2 down to single indices, restarting whenever a drop succeeds
+   — classic delta debugging over the vertex set.
+2. **value simplification**: try rounding the surviving entries to a few
+   significant digits (symmetrically, preserving SPD-by-construction is
+   not guaranteed here, so a candidate whose predicate raises is simply
+   treated as "does not reproduce").
+
+The predicate receives a candidate :class:`CSCMatrix` and returns True
+when the failure still reproduces.  Any exception inside the predicate
+is treated as False — a shrink step must never turn "wrong answer" into
+"crash elsewhere" unnoticed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matrices.csc import CSCMatrix
+
+__all__ = ["ShrinkResult", "principal_submatrix", "shrink_matrix"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized witness plus shrink statistics."""
+
+    matrix: CSCMatrix
+    original_n: int
+    tests: int                    # predicate evaluations spent
+    rounds: int                   # successful reductions
+
+    @property
+    def n(self) -> int:
+        return self.matrix.n_rows
+
+
+def principal_submatrix(a: CSCMatrix, keep: np.ndarray) -> CSCMatrix:
+    """Principal submatrix of ``a`` on the (sorted, unique) ``keep`` ids."""
+    keep = np.asarray(keep, dtype=np.int64)
+    n_new = keep.size
+    remap = np.full(a.n_rows, -1, dtype=np.int64)
+    remap[keep] = np.arange(n_new, dtype=np.int64)
+    cols = np.repeat(
+        np.arange(a.n_cols, dtype=np.int64), np.diff(a.indptr)
+    )
+    new_rows = remap[a.indices]
+    new_cols = remap[cols]
+    mask = (new_rows >= 0) & (new_cols >= 0)
+    return CSCMatrix.from_coo(
+        new_rows[mask], new_cols[mask], a.data[mask], (n_new, n_new)
+    )
+
+
+def _safe_predicate(predicate, a: CSCMatrix) -> bool:
+    try:
+        return bool(predicate(a))
+    except Exception:
+        return False
+
+
+def shrink_matrix(
+    a: CSCMatrix,
+    predicate,
+    *,
+    max_tests: int = 400,
+    simplify_values: bool = True,
+) -> ShrinkResult:
+    """Minimize a failing matrix with delta debugging.
+
+    Parameters
+    ----------
+    a : CSCMatrix
+        The original failing input; ``predicate(a)`` must be True.
+    predicate : callable(CSCMatrix) -> bool
+        True while the failure reproduces.  Exceptions count as False.
+    max_tests : int
+        Budget on predicate evaluations (shrinking is best-effort).
+    simplify_values : bool
+        Attempt the value-rounding pass after index reduction.
+    """
+    if not _safe_predicate(predicate, a):
+        raise ValueError("predicate does not fail on the original matrix")
+    original_n = a.n_rows
+    tests = 0
+    rounds = 0
+    current = a
+    keep = np.arange(a.n_rows, dtype=np.int64)
+
+    block = max(1, keep.size // 2)
+    while block >= 1 and tests < max_tests:
+        shrunk_this_block = False
+        start = 0
+        while start < keep.size and keep.size > 1 and tests < max_tests:
+            candidate_keep = np.concatenate(
+                [keep[:start], keep[start + block:]]
+            )
+            if candidate_keep.size == 0:
+                start += block
+                continue
+            candidate = principal_submatrix(a, candidate_keep)
+            tests += 1
+            if _safe_predicate(predicate, candidate):
+                keep = candidate_keep
+                current = candidate
+                rounds += 1
+                shrunk_this_block = True
+                # same start position now addresses the next block
+            else:
+                start += block
+        if not shrunk_this_block or block > keep.size:
+            block //= 2
+        else:
+            block = min(block, max(1, keep.size // 2))
+
+    if simplify_values and tests < max_tests:
+        for digits in (1, 2, 4):
+            rounded = np.round(
+                current.data,
+                decimals=int(digits - np.floor(
+                    np.log10(np.abs(current.data).max() or 1.0)
+                )),
+            )
+            candidate = CSCMatrix(
+                current.shape, current.indptr.copy(),
+                current.indices.copy(), rounded, check=False,
+            )
+            tests += 1
+            if _safe_predicate(predicate, candidate):
+                current = candidate
+                rounds += 1
+                break
+
+    return ShrinkResult(
+        matrix=current, original_n=original_n, tests=tests, rounds=rounds
+    )

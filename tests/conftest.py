@@ -1,7 +1,14 @@
 """Shared fixtures: small problems, the calibrated model, cached symbolic
-factorizations (symbolic analysis is the slowest reusable step)."""
+factorizations (symbolic analysis is the slowest reusable step).
+
+Also registers the single hypothesis profile for the whole suite:
+``REPRO_HYPOTHESIS_EXAMPLES`` overrides ``max_examples`` (e.g. crank it
+up in a nightly job, or set it to 5 for a quick local run).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +16,19 @@ import pytest
 from repro.gpu.perfmodel import tesla_t10_model
 from repro.matrices import elasticity_3d, grid_laplacian_2d, grid_laplacian_3d, random_spd
 from repro.symbolic import symbolic_factorize
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+else:
+    settings.register_profile(
+        "repro",
+        deadline=None,
+        max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "25")),
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@ end-to-end solve invariant."""
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.autotune import FeatureMap, FeatureScaler, softmax
@@ -17,12 +17,6 @@ from repro.ordering import compute_ordering
 from repro.policies import make_policy
 from repro.symbolic import elimination_tree, symbolic_factorize
 from repro.symbolic.etree import NO_PARENT
-
-settings.register_profile(
-    "repro", deadline=None, max_examples=25,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-settings.load_profile("repro")
 
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,7 @@ subsystems (hypothesis)."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cluster import ClusterSpec, map_subtrees_to_ranks, simulate_cluster
@@ -17,9 +17,6 @@ from repro.symbolic.stack import (
     update_bytes,
 )
 from repro.workload import geometric_nd_workload
-
-settings.register_profile("ext", deadline=None, max_examples=20)
-settings.load_profile("ext")
 
 MODEL = tesla_t10_model()
 

@@ -1,0 +1,112 @@
+"""Targeted tests for :mod:`repro.multifrontal.refine`.
+
+Covers the paths the end-to-end suites only graze: the non-convergence
+(budget exhausted / stagnation) branch, the zero-RHS edge case, and the
+central mixed-precision claim — an fp32-produced factor refined against
+the fp64 matrix reaches double-precision solve accuracy on the whole
+generator suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    elasticity_3d,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_spd,
+)
+from repro.multifrontal import SparseCholeskySolver
+from repro.multifrontal.refine import iterative_refinement
+
+
+def _factored(a, **kwargs):
+    solver = SparseCholeskySolver(a, ordering="amd", **kwargs)
+    solver.analyze().factorize()
+    return solver
+
+
+class TestNonConvergence:
+    def test_unreachable_tolerance_reports_not_converged(self, lap2d_small):
+        solver = _factored(lap2d_small)
+        b = np.ones(lap2d_small.n_rows)
+        res = iterative_refinement(
+            solver.a, solver.factor, b, tol=0.0, max_iter=3
+        )
+        assert not res.converged
+        # stagnation may stop the loop before the budget, never after it
+        assert 1 <= res.iterations <= 3
+        assert len(res.residual_norms) == res.iterations + 1
+        # the non-converged x is still the best iterate, not garbage
+        assert res.final_residual < 1e-12
+
+    def test_zero_budget_returns_direct_solve(self, lap2d_small):
+        solver = _factored(lap2d_small)
+        b = np.ones(lap2d_small.n_rows)
+        res = iterative_refinement(
+            solver.a, solver.factor, b, tol=0.0, max_iter=0
+        )
+        assert res.iterations == 0
+        assert not res.converged
+        assert res.residual_norms == [res.initial_residual]
+
+    def test_stagnation_guard_stops_early(self, lap2d_small):
+        # a double-precision factor converges in one step; with tol=0 the
+        # guard (norms[-1] > 0.5 * norms[-2]) must fire well before the
+        # large budget is exhausted
+        solver = _factored(lap2d_small)
+        b = np.arange(1.0, lap2d_small.n_rows + 1.0)
+        res = iterative_refinement(
+            solver.a, solver.factor, b, tol=0.0, max_iter=50
+        )
+        assert res.iterations < 50
+
+
+class TestZeroRhs:
+    def test_zero_rhs_converges_immediately(self, lap2d_small):
+        solver = _factored(lap2d_small)
+        b = np.zeros(lap2d_small.n_rows)
+        res = iterative_refinement(solver.a, solver.factor, b)
+        assert res.converged
+        assert res.iterations == 0
+        assert res.initial_residual == 0.0
+        assert res.final_residual == 0.0
+        np.testing.assert_array_equal(res.x, np.zeros_like(b))
+
+
+class TestMixedPrecisionRefinement:
+    """fp32 factor + fp64 refinement = fp64 accuracy (paper Sec. III-B)."""
+
+    CASES = [
+        ("lap2d", lambda: grid_laplacian_2d(12, 12)),
+        ("lap3d", lambda: grid_laplacian_3d(5, 5, 5)),
+        ("elasticity", lambda: elasticity_3d(3, 3, 3)),
+        ("random", lambda: random_spd(90, seed=17)),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,make", CASES, ids=[c[0] for c in CASES]
+    )
+    def test_fp32_factor_refines_to_fp64(self, name, make):
+        a = make()
+        solver = _factored(a, policy="P4")     # device kernels run in fp32
+        b = np.random.default_rng(5).standard_normal(a.n_rows)
+        direct = iterative_refinement(
+            solver.a, solver.factor, b, tol=0.0, max_iter=0
+        )
+        res = iterative_refinement(
+            solver.a, solver.factor, b, tol=1e-12, max_iter=8
+        )
+        assert res.converged, f"{name}: stalled at {res.final_residual:.3e}"
+        assert res.final_residual <= 1e-12
+        # refinement must have actually improved on the raw fp32 solve
+        assert res.final_residual < direct.initial_residual
+
+    def test_fp32_initial_residual_is_single_precision(self):
+        a = grid_laplacian_2d(12, 12)
+        solver = _factored(a, policy="P4")
+        b = np.ones(a.n_rows)
+        res = iterative_refinement(solver.a, solver.factor, b)
+        # the first (unrefined) residual reflects fp32 kernels: far worse
+        # than fp64 roundoff, far better than nonsense
+        assert 1e-14 < res.initial_residual < 1e-3

@@ -491,3 +491,102 @@ class TestBackendSelection:
     def test_invalid_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
             SolverService(n_workers=1, backend="bogus")
+
+
+class TestDynamicFaultDegradation:
+    """Regression: a fault-degraded dynamic factorization completes without
+    raising, but its factor is partially P1-produced — it must be flagged
+    degraded and must NOT be cached under the non-degraded policy key."""
+
+    def _service(self, **kwargs):
+        from repro.runtime import FaultInjector
+
+        return SolverService(
+            n_workers=1, policy="P4", ordering="amd", backend="dynamic",
+            faults=FaultInjector(kernel_failure_rate=1.0), **kwargs,
+        )
+
+    def test_degraded_dynamic_run_is_flagged(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with self._service() as svc:
+            out = svc.solve(lap2d_small, b)
+        assert out.degraded
+        assert svc.metrics.counter("degraded") == 1
+        # still a correct solve, just on the CPU path
+        assert np.abs(lap2d_small.matvec(out.x) - b).max() < 1e-8
+
+    def test_degraded_factor_not_cached_under_clean_key(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with self._service() as svc:
+            first = svc.solve(lap2d_small, b)
+            second = svc.solve(lap2d_small, b)
+        assert first.degraded and second.degraded
+        # the second identical request must NOT have hit the numeric tier:
+        # the degraded factor was never published under the P4 key
+        assert second.tier != "numeric"
+        assert svc.cache.stats["numeric_hits"] == 0
+        assert svc.metrics.counter("numeric_factorizations") == 2
+
+    def test_clean_dynamic_run_still_caches(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P4", ordering="amd",
+                           backend="dynamic") as svc:
+            first = svc.solve(lap2d_small, b)
+            second = svc.solve(lap2d_small, b)
+        assert not first.degraded
+        assert second.tier in ("numeric", "batched")
+
+    def test_faults_require_dynamic_backend(self):
+        from repro.runtime import FaultInjector
+
+        with pytest.raises(ValueError, match="dynamic"):
+            SolverService(
+                n_workers=1, backend="serial",
+                faults=FaultInjector(kernel_failure_rate=0.5),
+            )
+
+
+class TestShadowVerification:
+    def test_sampled_rate_counts_checks(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1", ordering="amd",
+                           shadow_verify_rate=0.5) as svc:
+            for _ in range(4):
+                svc.solve(lap2d_small, b)
+        # deterministic accumulator: exactly every 2nd request is checked
+        assert svc.metrics.counter("shadow_checks") == 2
+        assert svc.metrics.counter("shadow_mismatches") == 0
+
+    def test_full_rate_checks_every_request(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1", ordering="amd",
+                           shadow_verify_rate=1.0) as svc:
+            for _ in range(3):
+                svc.solve(lap2d_small, b)
+        assert svc.metrics.counter("shadow_checks") == 3
+        assert svc.metrics.counter("shadow_mismatches") == 0
+
+    def test_zero_rate_never_checks(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1", ordering="amd") as svc:
+            svc.solve(lap2d_small, b)
+        assert svc.metrics.counter("shadow_checks") == 0
+
+    def test_corrupted_cached_factor_is_detected(self, lap2d_small):
+        # poison the numeric cache entry, then let the shadow check compare
+        # the served (cached) factor against a fresh reference
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1", ordering="amd",
+                           shadow_verify_rate=1.0) as svc:
+            svc.solve(lap2d_small, b)          # populate the cache
+            key = matrix_key(lap2d_small)[0]
+            num_key = f"{key.values}|ord=amd|pol=p1"
+            entry = svc.cache.lookup("zzz-no-such-pattern", num_key)
+            assert entry.tier == FactorizationCache.NUMERIC
+            entry.numeric.panels[0][0, 0] *= 1.0 + 1e-3
+            svc.solve(lap2d_small, b)          # numeric hit on poisoned entry
+        assert svc.metrics.counter("shadow_mismatches") >= 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="shadow_verify_rate"):
+            SolverService(n_workers=1, shadow_verify_rate=1.5)
