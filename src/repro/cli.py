@@ -12,6 +12,8 @@ Usage (also via ``python -m repro``)::
     python -m repro runtime-bench --cpus 4     # static vs dynamic runtime
     python -m repro verify --pairs default     # differential verification
     python -m repro verify --fuzz --budget-seconds 120
+    python -m repro lint                       # domain static analysis
+    python -m repro lint --list-rules
 
 Every subcommand prints plain text and returns a process exit code, so
 the tool scripts cleanly.
@@ -379,6 +381,97 @@ def cmd_runtime_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Domain-aware static analysis (see ``repro.lint``)."""
+    from pathlib import Path
+
+    from repro.lint import (
+        Baseline,
+        all_rules,
+        discover_files,
+        render,
+        run_lint,
+    )
+    from repro.lint.runner import DEFAULT_BASELINE
+
+    if args.list_rules:
+        from repro.analysis import format_table
+
+        rows = [
+            [r.rule_id, r.name, r.severity, r.summary]
+            for r in all_rules()
+        ]
+        print(format_table(
+            ["id", "name", "severity", "summary"], rows,
+            title="repro-lint rules",
+        ))
+        return 0
+
+    repo_root = Path(__file__).resolve().parents[2]
+    paths = [Path(p) for p in args.paths] if args.paths else [
+        repo_root / "src" / "repro"
+    ]
+    for p in paths:
+        if not p.exists():
+            print(f"lint: path does not exist: {p}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else (
+        repo_root / DEFAULT_BASELINE
+    )
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+
+    result = run_lint(
+        paths, baseline=baseline, src_roots=[repo_root / "src"]
+    )
+
+    if args.write_baseline:
+        files, _ = discover_files(paths, src_roots=[repo_root / "src"])
+        by_path = {str(sf.path): sf for sf in files}
+        Baseline.from_findings(result.findings, by_path).save(baseline_path)
+        print(
+            f"baseline with {len(result.findings)} finding(s) written "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    print(render(result, args.format))
+
+    if args.self_check:
+        rc = 0 if result.ok else 1
+        rc = max(rc, _lint_self_check(repo_root))
+        return rc
+    return 0 if result.ok else 1
+
+
+def _lint_self_check(repo_root) -> int:
+    """Run the generic linters (ruff, mypy) when they are installed.
+
+    The container image does not ship them; CI installs the ``lint``
+    extra.  A missing tool is reported and skipped, never a failure —
+    the domain lint above is the gate that always runs.
+    """
+    import shutil
+    import subprocess
+
+    rc = 0
+    for name, argv in (
+        ("ruff", ["ruff", "check", "src/repro/lint"]),
+        ("mypy", ["mypy", "--strict", "src/repro/lint"]),
+    ):
+        if shutil.which(name) is None:
+            print(f"self-check: {name} skipped (not installed)")
+            continue
+        proc = subprocess.run(argv, cwd=repo_root)
+        status = "ok" if proc.returncode == 0 else f"failed ({proc.returncode})"
+        print(f"self-check: {name} {status}")
+        rc = max(rc, proc.returncode)
+    return rc
+
+
 def cmd_verify(args) -> int:
     """Differential verification: config lattice, invariants, fuzzing."""
     from repro.verify import format_suite, run_fuzz, verify_suite
@@ -505,6 +598,28 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--trace", default="",
                     help="write the last dynamic run's Chrome trace here")
 
+    li = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (lock order, determinism, "
+             "allocator ownership, key purity, metric hygiene)",
+    )
+    li.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: src/repro)")
+    li.add_argument("--format", default="text",
+                    choices=("text", "json", "github"))
+    li.add_argument("--baseline", default="",
+                    help="baseline file (default: lint-baseline.json at "
+                         "the repo root)")
+    li.add_argument("--no-baseline", action="store_true",
+                    help="strict mode: ignore the baseline entirely")
+    li.add_argument("--write-baseline", action="store_true",
+                    help="accept all current findings into the baseline")
+    li.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    li.add_argument("--self-check", action="store_true",
+                    help="also run ruff and mypy --strict over "
+                         "src/repro/lint when installed")
+
     v = sub.add_parser(
         "verify",
         help="differential verification: config lattice, invariants, fuzzing",
@@ -543,6 +658,7 @@ _COMMANDS = {
     "train": cmd_train,
     "serve-bench": cmd_serve_bench,
     "runtime-bench": cmd_runtime_bench,
+    "lint": cmd_lint,
     "verify": cmd_verify,
 }
 

@@ -12,6 +12,7 @@ GPUs".
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.gpu.allocator import HighWaterMarkPool, PerCallPool
@@ -75,10 +76,40 @@ class SimulatedGpu:
     # memory ---------------------------------------------------------------
     def reserve(self, device_bytes: int, pinned_bytes: int) -> float:
         """Reserve working memory for one F-U call; returns the allocation
-        cost in simulated seconds (zero under the high-water mark)."""
-        return self.device_pool.request(device_bytes) + self.pinned_pool.request(
-            pinned_bytes
-        )
+        cost in simulated seconds (zero under the high-water mark).
+
+        The caller owns both reservations and must pair this with
+        :meth:`release` (or use :meth:`working_set`, which releases
+        structurally).  If the pinned request fails the device
+        reservation is rolled back, so a failed reserve leaves both
+        pools untouched.
+        """
+        cost = self.device_pool.request(device_bytes)
+        try:
+            cost += self.pinned_pool.request(pinned_bytes)
+        except BaseException:
+            self.device_pool.release(device_bytes)
+            raise
+        return cost
+
+    def release(self, device_bytes: int, pinned_bytes: int) -> None:
+        """Return a :meth:`reserve` made earlier to both pools."""
+        self.device_pool.release(device_bytes)
+        self.pinned_pool.release(pinned_bytes)
+
+    @contextmanager
+    def working_set(self, device_bytes: int, pinned_bytes: int):
+        """Own a per-call working set for the duration of a block.
+
+        Yields the allocation cost in simulated seconds; both pools are
+        released on every exit path, so ``in_use`` cannot drift even
+        when the block raises (e.g. an injected kernel fault).
+        """
+        cost = self.reserve(device_bytes, pinned_bytes)
+        try:
+            yield cost
+        finally:
+            self.release(device_bytes, pinned_bytes)
 
 
 @dataclass

@@ -1,0 +1,83 @@
+"""Committed lint baseline: accepted findings that do not gate CI.
+
+The baseline file is JSON — one entry per accepted finding, keyed by
+the line-number-free fingerprint ``(rule_id, path, stripped source
+line)`` so entries survive edits that merely shift code up or down.
+``--write-baseline`` regenerates it; a finding disappears from the
+baseline the moment the offending line is fixed, so the debt can only
+shrink.  ``--no-baseline`` ignores the file entirely (strict mode for
+the scheduled fuzz-verify workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import Finding, SourceFile
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of accepted finding fingerprints."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        entries = {
+            (e["rule_id"], e["path"], e["line_text"])
+            for e in data.get("findings", [])
+        }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        findings = [
+            {"rule_id": r, "path": p, "line_text": t}
+            for (r, p, t) in sorted(self.entries)
+        ]
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Accepted repro-lint findings. Regenerate with "
+                "`python -m repro lint --write-baseline`. Entries are "
+                "line-number-free; fixing the offending line removes "
+                "the entry on the next --write-baseline."
+            ),
+            "findings": findings,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(
+        finding: Finding, files: dict[str, SourceFile]
+    ) -> tuple[str, str, str]:
+        sf = files.get(finding.path)
+        line_text = sf.source_line(finding.line) if sf is not None else ""
+        return finding.fingerprint(line_text)
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], files: dict[str, SourceFile]
+    ) -> "Baseline":
+        return cls(
+            entries={cls.fingerprint(f, files) for f in findings}
+        )
+
+    def contains(
+        self, finding: Finding, files: dict[str, SourceFile]
+    ) -> bool:
+        return self.fingerprint(finding, files) in self.entries

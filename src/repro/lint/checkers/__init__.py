@@ -1,0 +1,22 @@
+"""Domain checkers for ``repro.lint``.
+
+Importing this package registers every built-in checker; use
+:func:`all_checkers` to get fresh instances in registration order.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checkers import (  # noqa: F401  (import = register)
+    allocator,
+    concurrency,
+    determinism,
+    metrics,
+    purity,
+)
+from repro.lint.core import Checker, registry
+
+__all__ = ["all_checkers"]
+
+
+def all_checkers() -> list[Checker]:
+    return [cls() for cls in registry]

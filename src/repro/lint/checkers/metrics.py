@@ -1,0 +1,246 @@
+"""Metrics/trace hygiene lints (RPL040, RPL041).
+
+Dashboards and the Chrome-trace exporter are built around *statically
+knowable* names:
+
+* **RPL040** — counter/histogram/gauge names passed to
+  ``*.incr(...)`` / ``*.observe(...)`` / ``*.gauge(...)`` must be
+  statically known: a string literal, an f-string with a literal
+  prefix, or a local name only ever bound to literals (including loop
+  variables drawing from a literal collection, the
+  ``for name, value in (("a", x), ("b", y))`` idiom).  A fully dynamic
+  name creates unbounded metric cardinality and dashboards that cannot
+  enumerate their own series.
+* **RPL041** — engine names fed to ``span(...)`` must start with one of
+  the engine kinds the trace exporter sorts by
+  (``repro.gpu.trace._ENGINE_ORDER``: ``cpu`` / ``gpu`` / ``nic``,
+  matched on the first dot-component).  An unknown kind silently sorts
+  last in the exported trace and breaks the lane layout.  Dynamic
+  *suffixes* are legitimate (``f"cpu.worker{i}"``) as long as the
+  static prefix pins the kind.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    register,
+)
+
+__all__ = ["MetricsChecker"]
+
+_METRIC_METHODS = {"incr", "observe", "gauge"}
+_SPAN_METHODS = {"span"}
+
+
+def _is_literal_str(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _static_prefix(node: ast.expr) -> str | None:
+    """Statically-known leading text of a string expression.
+
+    Literals are fully known; an f-string is known up to its first
+    interpolation; string concatenation is known up to its left-most
+    dynamic part; anything else is unknown (None).
+    """
+    if _is_literal_str(node):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if _is_literal_str(part):
+                prefix += part.value
+            else:
+                return prefix
+        return prefix
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _static_prefix(node.left)
+    return None
+
+
+class _NameTable(ast.NodeVisitor):
+    """Per-function facts about local names used as metric names.
+
+    ``static`` holds names whose every observed binding is a statically
+    prefixed string (conflicting bindings poison the entry).
+    ``prefixes`` maps a name to its static prefix when one exists.
+    """
+
+    def __init__(self) -> None:
+        self.static: dict[str, bool] = {}
+        self.prefixes: dict[str, str] = {}
+
+    def _mark(self, name: str, ok: bool, prefix: str | None = None) -> None:
+        self.static[name] = self.static.get(name, True) and ok
+        if prefix is not None and name not in self.prefixes:
+            self.prefixes[name] = prefix
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        pref = _static_prefix(node.value)
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                self._mark(tgt.id, pref is not None, pref)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            pref = _static_prefix(node.value)
+            self._mark(node.target.id, pref is not None, pref)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_loop(node.target, node.iter)
+        self.generic_visit(node)
+
+    def _bind_loop(self, target: ast.expr, it: ast.expr) -> None:
+        if not isinstance(it, (ast.Tuple, ast.List)):
+            # unknown iterable: poison every name the target binds
+            for name in _target_names(target):
+                self._mark(name, False)
+            return
+        if isinstance(target, ast.Name):
+            self._mark(
+                target.id, all(_is_literal_str(e) for e in it.elts)
+            )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # slot i of the target is static iff every element of the
+            # literal collection is a tuple whose slot i is a literal str
+            for i, t in enumerate(target.elts):
+                if not isinstance(t, ast.Name):
+                    continue
+                ok = all(
+                    isinstance(e, (ast.Tuple, ast.List))
+                    and i < len(e.elts)
+                    and _is_literal_str(e.elts[i])
+                    for e in it.elts
+                )
+                self._mark(t.id, ok)
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    return []
+
+
+@register
+class MetricsChecker(Checker):
+    rules = (
+        Rule(
+            "RPL040",
+            "non-static-metric-name",
+            "warning",
+            "A metric name that is not statically known creates "
+            "unbounded cardinality and undiscoverable dashboards.",
+            hint="use a string literal (or a local bound only to "
+            "literals) for incr/observe/gauge names",
+        ),
+        Rule(
+            "RPL041",
+            "unknown-engine-kind",
+            "error",
+            "A span() engine name whose first dot-component is not a "
+            "known engine kind sorts last in the exported trace.",
+            hint="prefix the engine name with cpu/gpu/nic, e.g. "
+            "f\"cpu.worker{i}\"",
+        ),
+    )
+
+    def check(
+        self, files: list[SourceFile], config: LintConfig
+    ) -> list[Finding]:
+        kinds = config.engine_kinds_tuple()
+        findings: list[Finding] = []
+        for sf in files:
+            for fn in ast.walk(sf.tree):
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                table = _NameTable()
+                for stmt in fn.body:
+                    table.visit(stmt)
+                for node in ast.walk(fn):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                    ):
+                        continue
+                    meth = node.func.attr
+                    if meth in _METRIC_METHODS and node.args:
+                        self._check_metric_name(
+                            sf, node, node.args[0], table, findings
+                        )
+                    elif meth in _SPAN_METHODS:
+                        self._check_span_engine(
+                            sf, node, table, kinds, findings
+                        )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_metric_name(
+        self,
+        sf: SourceFile,
+        call: ast.Call,
+        arg: ast.expr,
+        table: _NameTable,
+        findings: list[Finding],
+    ) -> None:
+        if _static_prefix(arg) is not None:
+            return
+        if isinstance(arg, ast.Name) and table.static.get(arg.id, False):
+            return
+        findings.append(
+            self.finding(
+                "RPL040", sf, call,
+                f"metric name passed to {call.func.attr}() is not "
+                "statically known",
+            )
+        )
+
+    def _check_span_engine(
+        self,
+        sf: SourceFile,
+        call: ast.Call,
+        table: _NameTable,
+        kinds: tuple[str, ...],
+        findings: list[Finding],
+    ) -> None:
+        engine: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "engine":
+                engine = kw.value
+        if engine is None and len(call.args) >= 3:
+            engine = call.args[2]
+        if engine is None:
+            return
+        prefix = _static_prefix(engine)
+        if prefix is None and isinstance(engine, ast.Name):
+            prefix = table.prefixes.get(engine.id)
+        if prefix is None:
+            return  # fully dynamic engine names are out of static reach
+        first = prefix.split(".", 1)[0]
+        if first in kinds:
+            return
+        if "." not in prefix and any(k.startswith(first) for k in kinds):
+            # the static prefix ends mid-component ("c" from f"c{x}");
+            # it could still complete to a known kind — do not guess
+            return
+        findings.append(
+            self.finding(
+                "RPL041", sf, call,
+                f"engine name starting {prefix!r} does not begin with a "
+                f"known engine kind {'/'.join(kinds)}",
+            )
+        )

@@ -1,0 +1,198 @@
+"""Cache-key purity lint (RPL030).
+
+The factorization cache (:mod:`repro.service.cache`) is keyed by the
+values produced in :mod:`repro.service.keys`.  A key function that
+reads ambient mutable state — environment variables, wall clock, RNG,
+process-global module variables — produces keys that differ between
+otherwise-identical requests, silently destroying the cache hit rate
+(or worse, colliding entries that should be distinct).
+
+The checker covers every function in :attr:`LintConfig.key_modules`
+plus any function named ``*_key``/``*_fingerprint`` anywhere in the
+linted tree, and flags:
+
+* ``os.environ`` / ``os.getenv`` / ``os.environb`` reads;
+* wall-clock reads (``time.*``, ``datetime.now``);
+* randomness (``random.*``, ``np.random.*``, ``uuid.uuid4``);
+* ``open()`` / ``input()`` and ``Path.read_*`` I/O;
+* ``globals()`` and writes-then-reads of module-level mutable globals
+  (a module-level name assigned a dict/list/set literal and read inside
+  a key function).  Module-level *constants* (UPPER_CASE names bound to
+  literals, tuples, or frozensets) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    dotted_name,
+    register,
+)
+
+__all__ = ["PurityChecker"]
+
+_ENV_READS = {"os.environ", "os.environb"}
+_IMPURE_CALLS = {
+    "os.getenv",
+    "os.environ.get",
+    "os.urandom",
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.monotonic",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "globals",
+    "open",
+    "input",
+}
+_IMPURE_PREFIXES = ("random.", "np.random.", "numpy.random.", "secrets.")
+_KEY_NAME_SUFFIXES = ("_key", "_fingerprint")
+
+
+def _in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    return isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                             ast.ListComp, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) in ("dict", "list", "set", "defaultdict",
+                                       "OrderedDict", "Counter")
+    )
+
+
+def _module_mutable_globals(tree: ast.Module) -> set[str]:
+    """Module-level names bound to mutable containers (non-constant)."""
+    out: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for tgt in targets:
+            if isinstance(tgt, ast.Name):
+                out.add(tgt.id)
+    return out
+
+
+class _FunctionScan(ast.NodeVisitor):
+    def __init__(
+        self,
+        checker: "PurityChecker",
+        sf: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        mutable_globals: set[str],
+    ):
+        self.checker = checker
+        self.sf = sf
+        self.fn = fn
+        self.mutable_globals = mutable_globals
+        self.locals: set[str] = {a.arg for a in fn.args.args}
+        self.locals |= {a.arg for a in fn.args.kwonlyargs}
+        if fn.args.vararg:
+            self.locals.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            self.locals.add(fn.args.kwarg.arg)
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.checker.finding(
+                "RPL030", self.sf, node,
+                f"{message} inside cache-key function "
+                f"{self.fn.name}()",
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                self.locals.add(tgt.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.locals.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func) or ""
+        if name in _IMPURE_CALLS:
+            self._flag(node, f"impure call {name}()")
+        elif any(name.startswith(p) for p in _IMPURE_PREFIXES):
+            self._flag(node, f"impure call {name}()")
+        elif name.startswith("os.environ"):
+            self._flag(node, f"environment read {name}()")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        name = dotted_name(node)
+        if name in _ENV_READS:
+            self._flag(node, f"environment read {name}")
+            return  # do not also visit the child os.environ chain
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id in self.mutable_globals
+            and node.id not in self.locals
+        ):
+            self._flag(
+                node,
+                f"read of mutable module global {node.id!r}",
+            )
+        self.generic_visit(node)
+
+
+def _is_key_function(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return fn.name.endswith(_KEY_NAME_SUFFIXES)
+
+
+@register
+class PurityChecker(Checker):
+    rules = (
+        Rule(
+            "RPL030",
+            "impure-cache-key",
+            "error",
+            "A function feeding cache keys reads ambient mutable state, "
+            "so identical requests can produce different keys.",
+            hint="derive keys from the function's arguments only; pass "
+            "configuration in explicitly",
+        ),
+    )
+
+    def check(
+        self, files: list[SourceFile], config: LintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for sf in files:
+            whole_module = _in_scope(sf.module, config.key_modules)
+            mutable_globals = _module_mutable_globals(sf.tree)
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not (whole_module or _is_key_function(node)):
+                    continue
+                scan = _FunctionScan(self, sf, node, mutable_globals)
+                for stmt in node.body:
+                    scan.visit(stmt)
+                findings.extend(scan.findings)
+        return findings

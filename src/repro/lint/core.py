@@ -1,0 +1,279 @@
+"""Core model of the ``repro.lint`` framework.
+
+The framework is deliberately small: a :class:`SourceFile` wraps one
+parsed module (path, AST, inline suppressions), a :class:`Rule` is the
+immutable identity of one diagnostic (``RPL0xx`` id, severity, fix
+hint), a :class:`Finding` is one concrete diagnostic at one location,
+and a :class:`Checker` turns a *whole program* (every source file at
+once) into findings.  Checkers get the whole file set — not one file at
+a time — because the flagship checker builds a cross-module
+lock-acquisition graph; per-file checkers simply iterate.
+
+Inline suppressions use the grammar::
+
+    x = risky()          # repro-lint: disable=RPL002 -- why it is fine
+    # repro-lint: disable-file=RPL010 -- whole-module opt-out
+
+A same-line ``disable`` silences the named rules (or all rules when no
+ids are given) for findings reported on that line; ``disable-file``
+silences them for the whole module.  Suppressions are counted, never
+silent: the runner reports how many findings each run suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "registry",
+]
+
+#: Ordered severities; ``error`` gates CI, ``warning`` still fails the
+#: run (a warning you never read is a comment), the split exists so
+#: output consumers can triage.
+Severity = str
+SEVERITIES: tuple[Severity, ...] = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?"
+    r"(?:\s*=\s*(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Immutable identity of one diagnostic."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"RPL\d{3}", self.rule_id):
+            raise ValueError(f"rule id {self.rule_id!r} is not RPLxxx")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic at one location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    def fingerprint(self, source_line: str = "") -> tuple[str, str, str]:
+        """Line-number-free identity used by the baseline: a finding
+        survives unrelated edits that merely shift it up or down."""
+        return (self.rule_id, self.path, source_line.strip())
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus its inline suppressions."""
+
+    path: Path
+    module: str
+    text: str
+    tree: ast.Module
+    line_suppressions: dict[int, frozenset[str] | None] = field(
+        default_factory=dict
+    )
+    file_suppressions: frozenset[str] | None | bool = False
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def source_line(self, lineno: int) -> str:
+        lines = self.lines
+        return lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.file_suppressions is None:
+            return True
+        if self.file_suppressions and isinstance(
+            self.file_suppressions, frozenset
+        ):
+            if finding.rule_id in self.file_suppressions:
+                return True
+        rules = self.line_suppressions.get(finding.line, False)
+        if rules is None:
+            return True
+        if rules and finding.rule_id in rules:
+            return True
+        return False
+
+    @classmethod
+    def parse(cls, path: Path, module: str, text: str) -> "SourceFile":
+        tree = ast.parse(text, filename=str(path))
+        line_sup: dict[int, frozenset[str] | None] = {}
+        file_sup: frozenset[str] | None | bool = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m is None:
+                continue
+            rules = m.group("rules")
+            parsed: frozenset[str] | None = (
+                frozenset(r.strip() for r in rules.split(",")) if rules else None
+            )
+            if m.group("scope"):
+                if file_sup is None or parsed is None:
+                    file_sup = None
+                elif file_sup is False:
+                    file_sup = parsed
+                else:
+                    file_sup = file_sup | parsed
+            else:
+                existing = line_sup.get(lineno, frozenset())
+                if parsed is None or existing is None:
+                    line_sup[lineno] = None
+                else:
+                    line_sup[lineno] = existing | parsed
+        return cls(
+            path=path,
+            module=module,
+            text=text,
+            tree=tree,
+            line_suppressions=line_sup,
+            file_suppressions=file_sup,
+        )
+
+
+@dataclass
+class LintConfig:
+    """Repo-invariant knobs the domain checkers read.
+
+    The defaults encode *this* repository's contracts; tests override
+    them to point the checkers at fixture modules.
+    """
+
+    #: module prefixes the whole-program concurrency analysis covers
+    concurrency_modules: tuple[str, ...] = (
+        "repro.service",
+        "repro.runtime",
+        "repro.gpu",
+        "repro.parallel",
+    )
+    #: modules that promise bit-for-bit reproducible behaviour
+    deterministic_modules: tuple[str, ...] = (
+        "repro.runtime.events",
+        "repro.runtime.engine",
+        "repro.runtime.faults",
+        "repro.verify",
+    )
+    #: modules whose functions feed cache keys (plus any ``*_key`` fn)
+    key_modules: tuple[str, ...] = ("repro.service.keys",)
+    #: modules exempt from the allocator-ownership rule (the allocator
+    #: implementation itself has nothing to release)
+    allocator_impl_modules: tuple[str, ...] = ("repro.gpu.allocator",)
+    #: engine-name kinds accepted by the trace exporter; mirrors
+    #: ``repro.gpu.trace._ENGINE_ORDER``
+    engine_kinds: tuple[str, ...] = ("cpu", "gpu", "nic")
+    #: calls that are expensive enough to count as "blocking" when made
+    #: while a lock is held (domain knowledge: these factor matrices or
+    #: train models)
+    expensive_calls: frozenset[str] = frozenset(
+        {
+            "train_default_classifier",
+            "factorize",
+            "analyze",
+            "symbolic_factorize",
+            "dynamic_schedule",
+            "list_schedule",
+            "solve_factored",
+            "iterative_refinement",
+            "factorize_numeric",
+            "replay_factorize",
+        }
+    )
+
+    def engine_kinds_tuple(self) -> tuple[str, ...]:
+        try:
+            from repro.gpu.trace import _ENGINE_ORDER
+
+            return tuple(_ENGINE_ORDER)
+        except ImportError:  # pragma: no cover - trace always importable
+            return self.engine_kinds
+
+
+class Checker:
+    """Base class: a named pass producing findings over the file set."""
+
+    #: rules this checker may emit (drives ``--list-rules`` and docs)
+    rules: tuple[Rule, ...] = ()
+
+    def check(
+        self, files: list[SourceFile], config: LintConfig
+    ) -> list[Finding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def rule(self, rule_id: str) -> Rule:
+        for r in self.rules:
+            if r.rule_id == rule_id:
+                return r
+        raise KeyError(rule_id)
+
+    def finding(
+        self,
+        rule_id: str,
+        sf: SourceFile,
+        node: ast.AST | None,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        r = self.rule(rule_id)
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule_id=r.rule_id,
+            severity=r.severity,
+            path=str(sf.path),
+            line=int(line),
+            col=int(col),
+            message=message,
+            hint=hint if hint is not None else r.hint,
+        )
+
+
+#: every registered checker class, in registration order
+registry: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    registry.append(cls)
+    return cls
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,99 @@
+"""Render a :class:`LintResult` as text, JSON, or GitHub annotations.
+
+All three formats emit findings in a deterministic order (path, line,
+column, rule id) so golden tests and CI diffs are stable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import Finding
+from repro.lint.runner import LintResult
+
+__all__ = ["FORMATS", "render"]
+
+FORMATS = ("text", "json", "github")
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "text":
+        return _render_text(result)
+    if fmt == "json":
+        return _render_json(result)
+    if fmt == "github":
+        return _render_github(result)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def _line(f: Finding) -> str:
+    hint = f"  [hint: {f.hint}]" if f.hint else ""
+    return (
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule_id} "
+        f"{f.severity}: {f.message}{hint}"
+    )
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [_line(f) for f in result.findings]
+    for path, err in result.parse_errors:
+        lines.append(f"{path}:1:1: RPL000 error: unparseable file ({err})")
+    summary = (
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed inline")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} accepted by baseline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dict(f: Finding) -> dict[str, object]:
+    return {
+        "rule_id": f.rule_id,
+        "severity": f.severity,
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "message": f.message,
+        "hint": f.hint,
+    }
+
+
+def _render_json(result: LintResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "baselined": [_finding_dict(f) for f in result.baselined],
+        "parse_errors": [
+            {"path": p, "error": e} for p, e in result.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_github(result: LintResult) -> str:
+    """GitHub Actions workflow-command annotations."""
+    lines = []
+    for f in result.findings:
+        level = "error" if f.severity == "error" else "warning"
+        message = f.message.replace("\n", " ")
+        if f.hint:
+            message += f" (hint: {f.hint})"
+        lines.append(
+            f"::{level} file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.rule_id}::{message}"
+        )
+    for path, err in result.parse_errors:
+        lines.append(
+            f"::error file={path},line=1,title=RPL000::unparseable "
+            f"file ({err})"
+        )
+    return "\n".join(lines)

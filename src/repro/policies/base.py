@@ -216,26 +216,31 @@ class PolicyP2(Policy):
             "trsm", worker.cpu_engine,
             model.kernel_time("cpu", "trsm", m=m, k=k), (t_potrf,), "trsm",
         )
-        alloc = gpu.reserve((m * k + m * m) * word, (m * k + m * m) * word)
-        t_prep = graph.add(
-            "pin/alloc", worker.cpu_engine, alloc, (t_trsm,), "alloc"
-        )
-        t_h2d = graph.add(
-            "h2d:L2", gpu.h2d_engine,
-            model.transfer_time(m * k * word, pinned=True), (t_prep,), "copy",
-        )
-        t_syrk = graph.add(
-            "syrk", gpu.compute_engine,
-            model.kernel_time("gpu", "syrk", m=m, k=k), (t_h2d,), "syrk",
-        )
-        t_d2h = graph.add(
-            "d2h:W", gpu.d2h_engine,
-            model.transfer_time(m * m * word, pinned=True), (t_syrk,), "copy",
-        )
-        t_apply = graph.add(
-            "apply:U-=W", worker.cpu_engine,
-            _host_apply_time(model, m), (t_d2h,), "assemble",
-        )
+        # the working set lives for this one planned call: the pool's
+        # high-water mark (capacity) keeps the warm-start pricing while
+        # in_use returns to zero even if graph building raises
+        with gpu.working_set(
+            (m * k + m * m) * word, (m * k + m * m) * word
+        ) as alloc:
+            t_prep = graph.add(
+                "pin/alloc", worker.cpu_engine, alloc, (t_trsm,), "alloc"
+            )
+            t_h2d = graph.add(
+                "h2d:L2", gpu.h2d_engine,
+                model.transfer_time(m * k * word, pinned=True), (t_prep,), "copy",
+            )
+            t_syrk = graph.add(
+                "syrk", gpu.compute_engine,
+                model.kernel_time("gpu", "syrk", m=m, k=k), (t_h2d,), "syrk",
+            )
+            t_d2h = graph.add(
+                "d2h:W", gpu.d2h_engine,
+                model.transfer_time(m * m * word, pinned=True), (t_syrk,), "copy",
+            )
+            t_apply = graph.add(
+                "apply:U-=W", worker.cpu_engine,
+                _host_apply_time(model, m), (t_d2h,), "assemble",
+            )
         roles.update(trsm=t_trsm, h2d=t_h2d, syrk=t_syrk, d2h=t_d2h, apply=t_apply)
         return FUPlan(graph, t_apply, roles)
 
@@ -278,54 +283,54 @@ class PolicyP3(Policy):
         gpu = worker.gpu
         word = model.gpu_word
         pinned = self.pinned
-        alloc = gpu.reserve(
+        with gpu.working_set(
             (k * k + m * k + m * m) * word,
             (k * k + m * k + m * m) * word if pinned else 0,
-        )
-        t_prep = graph.add("pin/alloc", worker.cpu_engine, alloc, deps, "alloc")
-        t_potrf = graph.add(
-            "potrf", worker.cpu_engine,
-            model.kernel_time("cpu", "potrf", k=k), (t_prep,), "potrf",
-        )
-        roles = {"potrf": t_potrf}
-        if m == 0:
-            return FUPlan(graph, t_potrf, roles)
-        # unsolved panel upload; overlaps the host potrf when enabled,
-        # otherwise waits for it (the basic implementation's synchronous
-        # cudaMemcpy after the host step)
-        t_h2d_l2 = graph.add(
-            "h2d:L2", gpu.h2d_engine,
-            model.transfer_time(m * k * word, pinned=pinned),
-            (t_prep,) if self.overlap else (t_potrf,), "copy",
-        )
-        t_h2d_l1 = graph.add(
-            "h2d:L1", gpu.h2d_engine,
-            model.transfer_time(k * k * word, pinned=pinned), (t_potrf,), "copy",
-        )
-        t_trsm = graph.add(
-            "trsm", gpu.compute_engine,
-            model.kernel_time("gpu", "trsm", m=m, k=k),
-            (t_h2d_l2, t_h2d_l1), "trsm",
-        )
-        # solved panel comes home while the syrk runs (overlap) or before
-        # the syrk may start (basic, synchronous)
-        t_d2h_l2 = graph.add(
-            "d2h:L2", gpu.d2h_engine,
-            model.transfer_time(m * k * word, pinned=pinned), (t_trsm,), "copy",
-        )
-        t_syrk = graph.add(
-            "syrk", gpu.compute_engine,
-            model.kernel_time("gpu", "syrk", m=m, k=k),
-            (t_trsm,) if self.overlap else (t_trsm, t_d2h_l2), "syrk",
-        )
-        t_d2h_w = graph.add(
-            "d2h:W", gpu.d2h_engine,
-            model.transfer_time(m * m * word, pinned=pinned), (t_syrk,), "copy",
-        )
-        t_apply = graph.add(
-            "apply:U-=W", worker.cpu_engine,
-            _host_apply_time(model, m), (t_d2h_w, t_d2h_l2), "assemble",
-        )
+        ) as alloc:
+            t_prep = graph.add("pin/alloc", worker.cpu_engine, alloc, deps, "alloc")
+            t_potrf = graph.add(
+                "potrf", worker.cpu_engine,
+                model.kernel_time("cpu", "potrf", k=k), (t_prep,), "potrf",
+            )
+            roles = {"potrf": t_potrf}
+            if m == 0:
+                return FUPlan(graph, t_potrf, roles)
+            # unsolved panel upload; overlaps the host potrf when enabled,
+            # otherwise waits for it (the basic implementation's synchronous
+            # cudaMemcpy after the host step)
+            t_h2d_l2 = graph.add(
+                "h2d:L2", gpu.h2d_engine,
+                model.transfer_time(m * k * word, pinned=pinned),
+                (t_prep,) if self.overlap else (t_potrf,), "copy",
+            )
+            t_h2d_l1 = graph.add(
+                "h2d:L1", gpu.h2d_engine,
+                model.transfer_time(k * k * word, pinned=pinned), (t_potrf,), "copy",
+            )
+            t_trsm = graph.add(
+                "trsm", gpu.compute_engine,
+                model.kernel_time("gpu", "trsm", m=m, k=k),
+                (t_h2d_l2, t_h2d_l1), "trsm",
+            )
+            # solved panel comes home while the syrk runs (overlap) or before
+            # the syrk may start (basic, synchronous)
+            t_d2h_l2 = graph.add(
+                "d2h:L2", gpu.d2h_engine,
+                model.transfer_time(m * k * word, pinned=pinned), (t_trsm,), "copy",
+            )
+            t_syrk = graph.add(
+                "syrk", gpu.compute_engine,
+                model.kernel_time("gpu", "syrk", m=m, k=k),
+                (t_trsm,) if self.overlap else (t_trsm, t_d2h_l2), "syrk",
+            )
+            t_d2h_w = graph.add(
+                "d2h:W", gpu.d2h_engine,
+                model.transfer_time(m * m * word, pinned=pinned), (t_syrk,), "copy",
+            )
+            t_apply = graph.add(
+                "apply:U-=W", worker.cpu_engine,
+                _host_apply_time(model, m), (t_d2h_w, t_d2h_l2), "assemble",
+            )
         roles.update(
             trsm=t_trsm, syrk=t_syrk, h2d_l1=t_h2d_l1, h2d_l2=t_h2d_l2,
             d2h_l2=t_d2h_l2, d2h_w=t_d2h_w, apply=t_apply,
@@ -375,67 +380,69 @@ class PolicyP4(Policy):
         gpu = worker.gpu
         word = model.gpu_word
         s = m + k
-        alloc = gpu.reserve(s * s * word, s * s * word)
-        t_prep = graph.add("pin/alloc", worker.cpu_engine, alloc, deps, "alloc")
-        if self.copy_optimized:
-            up_words = s * (s + 1) // 2
-            down_panel_words = k * (k + 1) // 2 + m * k
-            down_u_words = m * (m + 1) // 2
-        else:
-            up_words = s * s
-            down_panel_words = k * k + m * k
-            down_u_words = m * m
-        t_h2d = graph.add(
-            "h2d:F", gpu.h2d_engine,
-            model.transfer_time(up_words * word, pinned=True), (t_prep,), "copy",
-        )
-        # one task per device kernel of the blocked loop
-        calls = panel_kernel_sequence(s, k, self._width(k))
-        prev: SimTask = t_h2d
-        kernel_tasks: list[SimTask] = []
-        for c in calls:
-            t = graph.add(
-                f"gpu:{c.kernel}", gpu.compute_engine,
-                model.kernel_time("gpu", c.kernel, m=c.m, n=c.n, k=c.k),
-                (prev,), c.kernel,
+        with gpu.working_set(s * s * word, s * s * word) as alloc:
+            t_prep = graph.add(
+                "pin/alloc", worker.cpu_engine, alloc, deps, "alloc"
             )
-            kernel_tasks.append(t)
-            prev = t
-        roles = {"h2d": t_h2d, "compute_last": prev}
-        if self.copy_optimized and m > 0 and len(kernel_tasks) > 1:
-            # U accumulates panel by panel; start draining it once ~80%
-            # of the loop has retired
-            drain_after = kernel_tasks[max(0, int(0.8 * len(kernel_tasks)) - 1)]
-            t_d2h_u = graph.add(
-                "d2h:U", gpu.d2h_engine,
-                model.transfer_time(down_u_words * word, pinned=True),
-                (drain_after,), "copy",
+            if self.copy_optimized:
+                up_words = s * (s + 1) // 2
+                down_panel_words = k * (k + 1) // 2 + m * k
+                down_u_words = m * (m + 1) // 2
+            else:
+                up_words = s * s
+                down_panel_words = k * k + m * k
+                down_u_words = m * m
+            t_h2d = graph.add(
+                "h2d:F", gpu.h2d_engine,
+                model.transfer_time(up_words * word, pinned=True), (t_prep,), "copy",
             )
-        elif m > 0:
-            t_d2h_u = graph.add(
-                "d2h:U", gpu.d2h_engine,
-                model.transfer_time(down_u_words * word, pinned=True),
+            # one task per device kernel of the blocked loop
+            calls = panel_kernel_sequence(s, k, self._width(k))
+            prev: SimTask = t_h2d
+            kernel_tasks: list[SimTask] = []
+            for c in calls:
+                t = graph.add(
+                    f"gpu:{c.kernel}", gpu.compute_engine,
+                    model.kernel_time("gpu", c.kernel, m=c.m, n=c.n, k=c.k),
+                    (prev,), c.kernel,
+                )
+                kernel_tasks.append(t)
+                prev = t
+            roles = {"h2d": t_h2d, "compute_last": prev}
+            if self.copy_optimized and m > 0 and len(kernel_tasks) > 1:
+                # U accumulates panel by panel; start draining it once ~80%
+                # of the loop has retired
+                drain_after = kernel_tasks[max(0, int(0.8 * len(kernel_tasks)) - 1)]
+                t_d2h_u = graph.add(
+                    "d2h:U", gpu.d2h_engine,
+                    model.transfer_time(down_u_words * word, pinned=True),
+                    (drain_after,), "copy",
+                )
+            elif m > 0:
+                t_d2h_u = graph.add(
+                    "d2h:U", gpu.d2h_engine,
+                    model.transfer_time(down_u_words * word, pinned=True),
+                    (prev,), "copy",
+                )
+            else:
+                t_d2h_u = None
+            t_d2h_panel = graph.add(
+                "d2h:L", gpu.d2h_engine,
+                model.transfer_time(down_panel_words * word, pinned=True),
                 (prev,), "copy",
             )
-        else:
-            t_d2h_u = None
-        t_d2h_panel = graph.add(
-            "d2h:L", gpu.d2h_engine,
-            model.transfer_time(down_panel_words * word, pinned=True),
-            (prev,), "copy",
-        )
-        final_deps = [t_d2h_panel]
-        if t_d2h_u is not None:
-            final_deps.append(t_d2h_u)
-            # ensure U is complete before its download finishes being used
-            if t_d2h_u.deps and t_d2h_u.deps[0] is not prev:
-                t_sync = graph.add(
-                    "sync:U", gpu.d2h_engine, 0.0, (prev, t_d2h_u), "other"
-                )
-                final_deps.append(t_sync)
-        t_done = graph.add(
-            "fu-done", worker.cpu_engine, 0.0, tuple(final_deps), "other"
-        )
+            final_deps = [t_d2h_panel]
+            if t_d2h_u is not None:
+                final_deps.append(t_d2h_u)
+                # ensure U is complete before its download finishes being used
+                if t_d2h_u.deps and t_d2h_u.deps[0] is not prev:
+                    t_sync = graph.add(
+                        "sync:U", gpu.d2h_engine, 0.0, (prev, t_d2h_u), "other"
+                    )
+                    final_deps.append(t_sync)
+            t_done = graph.add(
+                "fu-done", worker.cpu_engine, 0.0, tuple(final_deps), "other"
+            )
         roles["d2h_panel"] = t_d2h_panel
         if t_d2h_u is not None:
             roles["d2h_u"] = t_d2h_u

@@ -347,13 +347,18 @@ class SolverService:
         classifier = None
         if not isinstance(spec, Policy) and str(spec).lower() == "model":
             with self._classifier_lock:
-                if self._classifier is None:
-                    from repro.autotune import train_default_classifier
-
-                    self._classifier = train_default_classifier(
-                        self._node_factory().model
-                    )
                 classifier = self._classifier
+            if classifier is None:
+                from repro.autotune import train_default_classifier
+
+                # train outside the lock: training takes whole seconds
+                # and would stall every worker resolving a "model"
+                # policy; losers of the publish race discard their copy
+                trained = train_default_classifier(self._node_factory().model)
+                with self._classifier_lock:
+                    if self._classifier is None:
+                        self._classifier = trained
+                    classifier = self._classifier
         if symbolic is not None:
             return SparseCholeskySolver.from_symbolic(
                 canonical, symbolic, policy=spec,
@@ -367,7 +372,9 @@ class SolverService:
         )
 
     def _process(self, req: SolveRequest, worker: int) -> None:
-        engine = f"worker{worker}"
+        # the cpu. prefix keys the Chrome-trace exporter's lane ordering
+        # (repro.gpu.trace._ENGINE_ORDER)
+        engine = f"cpu.worker{worker}"
         now = time.perf_counter()
         self.metrics.observe("queue_wait", now - req.submitted)
         self.metrics.gauge("queue_depth", len(self._queue))
@@ -566,6 +573,8 @@ class SolverService:
         got: list[SolveRequest] = []
         deadline_wait = self.batch_window
         while True:
+            expired: list[SolveRequest] = []
+            done = True
             with self._cond:
                 keep: deque[SolveRequest] = deque()
                 while self._queue and len(got) < self.max_batch - 1:
@@ -575,7 +584,11 @@ class SolverService:
                             cand.deadline is not None
                             and time.perf_counter() > cand.deadline
                         ):
-                            self._expire(cand)
+                            # expiry fires a client-visible Event; do it
+                            # after the condition is released so a woken
+                            # waiter can never re-enter the service while
+                            # a worker still holds the queue lock
+                            expired.append(cand)
                             continue
                         self.metrics.observe(
                             "queue_wait", time.perf_counter() - cand.submitted
@@ -588,5 +601,8 @@ class SolverService:
                 if deadline_wait > 0 and len(got) < self.max_batch - 1:
                     self._cond.wait(deadline_wait)
                     deadline_wait = 0.0
-                    continue
-            return got
+                    done = False
+            for cand in expired:
+                self._expire(cand)
+            if done:
+                return got

@@ -1,0 +1,777 @@
+"""Framework and per-rule tests for ``repro.lint``.
+
+Each rule gets a positive fixture (the smell, must fire) and a negative
+fixture (the sanctioned idiom, must stay silent); the framework tests
+cover inline suppressions, the baseline round-trip, and the output
+formats.  Fixtures are written to a temp tree and the checkers are
+pointed at them through :class:`LintConfig` scope overrides.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    all_rules,
+    discover_files,
+    render,
+    run_lint,
+)
+from repro.lint.core import Rule, SourceFile
+
+
+# ----------------------------------------------------------------------
+# fixture machinery
+# ----------------------------------------------------------------------
+def lint_source(
+    tmp_path: Path,
+    source: str,
+    *,
+    module: str = "fixmod",
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+):
+    """Lint one fixture module with every checker; returns LintResult."""
+    path = tmp_path / f"{module.replace('.', '_')}.py"
+    path.write_text(textwrap.dedent(source))
+    cfg = config or LintConfig()
+    files, errors = discover_files([path])
+    assert not errors
+    # discovery derives the module name from the path; force the name
+    # the scope override expects
+    files[0].module = module
+    from repro.lint.checkers import all_checkers
+    from repro.lint.core import Finding
+
+    raw: list[Finding] = []
+    for checker in all_checkers():
+        raw.extend(checker.check(files, cfg))
+    raw.sort(key=Finding.sort_key)
+
+    from repro.lint.runner import LintResult
+
+    result = LintResult(files_checked=1)
+    by_path = {str(files[0].path): files[0]}
+    for f in raw:
+        if files[0].is_suppressed(f):
+            result.suppressed.append(f)
+        elif baseline is not None and baseline.contains(f, by_path):
+            result.baselined.append(f)
+        else:
+            result.findings.append(f)
+    return result
+
+
+def rule_ids(result) -> list[str]:
+    return [f.rule_id for f in result.findings]
+
+
+CONC = LintConfig(concurrency_modules=("fixmod",))
+DET = LintConfig(deterministic_modules=("fixmod",))
+KEYS = LintConfig(key_modules=("fixmod",))
+
+
+# ----------------------------------------------------------------------
+# RPL001 lock-order cycles
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    def test_positive_cycle(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def two(self):
+                    with self.b:
+                        with self.a:
+                            pass
+        """, config=CONC)
+        assert "RPL001" in rule_ids(res)
+
+    def test_negative_consistent_order(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def two(self):
+                    with self.a:
+                        with self.b:
+                            pass
+        """, config=CONC)
+        assert "RPL001" not in rule_ids(res)
+
+    def test_transitive_cycle_through_call(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def helper(self):
+                    with self.a:
+                        pass
+
+                def one(self):
+                    with self.b:
+                        self.helper()
+
+                def two(self):
+                    with self.a:
+                        with self.b:
+                            pass
+        """, config=CONC)
+        assert "RPL001" in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL002 blocking call under lock
+# ----------------------------------------------------------------------
+class TestBlockingUnderLock:
+    def test_positive_sleep_under_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+            import time
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def work(self):
+                    with self.lock:
+                        time.sleep(1.0)
+        """, config=CONC)
+        assert "RPL002" in rule_ids(res)
+
+    def test_positive_expensive_call_under_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+            from somewhere import factorize
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def work(self, a):
+                    with self.lock:
+                        return factorize(a)
+        """, config=CONC)
+        assert "RPL002" in rule_ids(res)
+
+    def test_negative_sleep_outside_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+            import time
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def work(self):
+                    with self.lock:
+                        x = 1
+                    time.sleep(1.0)
+                    return x
+        """, config=CONC)
+        assert "RPL002" not in rule_ids(res)
+
+    def test_negative_condition_wait_is_exempt(self, tmp_path):
+        # Condition.wait releases the lock it waits on: not blocking
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.cond = threading.Condition()
+
+                def work(self):
+                    with self.cond:
+                        self.cond.wait(1.0)
+        """, config=CONC)
+        assert "RPL002" not in rule_ids(res)
+
+    def test_positive_foreign_wait_under_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.event = threading.Event()
+
+                def work(self):
+                    with self.lock:
+                        self.event.wait()
+        """, config=CONC)
+        assert "RPL002" in rule_ids(res)
+
+    def test_positive_transitive_blocking(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+            import time
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def slow(self):
+                    time.sleep(0.5)
+
+                def work(self):
+                    with self.lock:
+                        self.slow()
+        """, config=CONC)
+        assert "RPL002" in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL003 callback under lock
+# ----------------------------------------------------------------------
+class TestCallbackUnderLock:
+    def test_positive_event_set_under_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.done = threading.Event()
+
+                def finish(self):
+                    with self.lock:
+                        self.done.set()
+        """, config=CONC)
+        assert "RPL003" in rule_ids(res)
+
+    def test_positive_factory_under_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self, factory):
+                    self.lock = threading.Lock()
+                    self.node_factory = factory
+
+                def build(self):
+                    with self.lock:
+                        return self.node_factory()
+        """, config=CONC)
+        assert "RPL003" in rule_ids(res)
+
+    def test_negative_set_outside_lock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.done = threading.Event()
+
+                def finish(self):
+                    with self.lock:
+                        x = 1
+                    self.done.set()
+                    return x
+        """, config=CONC)
+        assert "RPL003" not in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL010/011/012 determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_positive_wall_clock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """, config=DET)
+        assert "RPL010" in rule_ids(res)
+
+    def test_positive_bare_import_wall_clock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+        """, config=DET)
+        assert "RPL010" in rule_ids(res)
+
+    def test_negative_out_of_scope_module(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """, config=LintConfig(deterministic_modules=("other.module",)))
+        assert "RPL010" not in rule_ids(res)
+
+    def test_positive_unseeded_rng(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().random()
+        """, config=DET)
+        assert "RPL011" in rule_ids(res)
+
+    def test_positive_legacy_global_rng(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+        """, config=DET)
+        assert "RPL011" in rule_ids(res)
+
+    def test_negative_seeded_rng(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+        """, config=DET)
+        assert "RPL011" not in rule_ids(res)
+
+    def test_positive_set_iteration(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def weird(xs):
+                pending = {str(x) for x in xs}
+                return [p for p in pending]
+        """, config=DET)
+        assert "RPL012" in rule_ids(res)
+
+    def test_negative_sorted_set_iteration(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def stable(xs):
+                pending = {str(x) for x in xs}
+                return [p for p in sorted(pending)]
+        """, config=DET)
+        assert "RPL012" not in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL020 allocator ownership
+# ----------------------------------------------------------------------
+class TestAllocatorLeak:
+    def test_positive_second_acquire_unprotected(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def reserve(gpu, n):
+                a = gpu.device_pool.request(n)
+                b = gpu.pinned_pool.request(n)
+                return a + b
+        """)
+        assert "RPL020" in rule_ids(res)
+
+    def test_positive_raise_with_outstanding(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def reserve(gpu, n):
+                cost = gpu.device_pool.request(n)
+                if n > 100:
+                    raise ValueError("too big")
+                return cost
+        """)
+        assert "RPL020" in rule_ids(res)
+
+    def test_positive_fall_through_release(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def use(gpu, n, work):
+                cost = gpu.device_pool.request(n)
+                result = work(cost)
+                gpu.device_pool.release(n)
+                return result
+        """)
+        assert "RPL020" in rule_ids(res)
+
+    def test_negative_try_finally_release(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def use(gpu, n, work):
+                cost = gpu.device_pool.request(n)
+                try:
+                    return work(cost)
+                finally:
+                    gpu.device_pool.release(n)
+        """)
+        assert "RPL020" not in rule_ids(res)
+
+    def test_negative_rollback_then_reraise(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def reserve(gpu, d, p):
+                cost = gpu.device_pool.request(d)
+                try:
+                    cost += gpu.pinned_pool.request(p)
+                except BaseException:
+                    gpu.device_pool.release(d)
+                    raise
+                return cost
+        """)
+        assert "RPL020" not in rule_ids(res)
+
+    def test_negative_working_set_context(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def use(gpu, n, work):
+                with gpu.working_set(n, n) as cost:
+                    return work(cost)
+        """)
+        assert "RPL020" not in rule_ids(res)
+
+    def test_negative_single_acquire_handoff(self, tmp_path):
+        # cross-function ownership (release elsewhere) is legal
+        res = lint_source(tmp_path, """
+            def start(gpu, record, n):
+                record.device_bytes = n
+                record.cost = gpu.device_pool.request(n)
+        """)
+        assert "RPL020" not in rule_ids(res)
+
+    def test_negative_impl_module_excluded(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def request_twice(pool, other_pool, n):
+                a = pool.request(n)
+                b = other_pool.request(n)
+                return a + b
+        """, module="repro.gpu.allocator")
+        assert "RPL020" not in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL030 cache-key purity
+# ----------------------------------------------------------------------
+class TestKeyPurity:
+    def test_positive_env_read(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import os
+
+            def pattern_key(a):
+                return (a.shape, os.environ.get("SOLVER_MODE"))
+        """, config=KEYS)
+        assert "RPL030" in rule_ids(res)
+
+    def test_positive_time_in_key(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def numeric_key(a):
+                return (a.nnz, time.time())
+        """, config=KEYS)
+        assert "RPL030" in rule_ids(res)
+
+    def test_positive_mutable_global_read(self, tmp_path):
+        res = lint_source(tmp_path, """
+            FLAGS = {"mode": "fast"}
+
+            def pattern_key(a):
+                return (a.shape, FLAGS["mode"])
+        """, config=KEYS)
+        assert "RPL030" in rule_ids(res)
+
+    def test_negative_pure_key(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import hashlib
+
+            def pattern_key(a):
+                h = hashlib.blake2b(digest_size=16)
+                h.update(bytes(a.indptr))
+                return h.hexdigest()
+        """, config=KEYS)
+        assert "RPL030" not in rule_ids(res)
+
+    def test_key_suffix_covered_everywhere(self, tmp_path):
+        # *_key functions are checked even outside key_modules
+        res = lint_source(tmp_path, """
+            import os
+
+            def cache_key(a):
+                return (a.shape, os.getenv("MODE"))
+        """)
+        assert "RPL030" in rule_ids(res)
+
+    def test_negative_constant_global(self, tmp_path):
+        res = lint_source(tmp_path, """
+            VERSION = 3
+
+            def pattern_key(a):
+                return (VERSION, a.shape)
+        """, config=KEYS)
+        assert "RPL030" not in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL040/041 metric and trace hygiene
+# ----------------------------------------------------------------------
+class TestMetricsHygiene:
+    def test_positive_dynamic_metric_name(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def record(metrics, outcome):
+                metrics.incr(outcome)
+        """)
+        assert "RPL040" in rule_ids(res)
+
+    def test_negative_literal_metric_name(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def record(metrics):
+                metrics.incr("completed")
+        """)
+        assert "RPL040" not in rule_ids(res)
+
+    def test_negative_loop_over_literal_tuples(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def record(metrics, a, b):
+                for name, value in (("alpha", a), ("beta", b)):
+                    metrics.incr(name, value)
+        """)
+        assert "RPL040" not in rule_ids(res)
+
+    def test_positive_loop_over_dynamic_iterable(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def record(metrics, pairs):
+                for name, value in pairs:
+                    metrics.incr(name, value)
+        """)
+        assert "RPL040" in rule_ids(res)
+
+    def test_positive_unknown_engine_kind(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def trace(metrics, i, t0, t1):
+                engine = f"worker{i}"
+                metrics.span("solve", "solve", engine, t0, t1)
+        """)
+        assert "RPL041" in rule_ids(res)
+
+    def test_negative_cpu_prefixed_engine(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def trace(metrics, i, t0, t1):
+                engine = f"cpu.worker{i}"
+                metrics.span("solve", "solve", engine, t0, t1)
+        """)
+        assert "RPL041" not in rule_ids(res)
+
+    def test_negative_engine_keyword(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def trace(metrics, i, t0, t1):
+                metrics.span("solve", "solve", engine=f"gpu{i}.compute")
+        """)
+        assert "RPL041" not in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# framework: suppressions, baseline, output formats
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    SRC = """
+        import time
+
+        def stamp():
+            return time.perf_counter(){inline}
+    """
+
+    def test_unsuppressed_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path, self.SRC.format(inline=""), config=DET
+        )
+        assert rule_ids(res) == ["RPL010"]
+
+    def test_line_suppression(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(
+                inline="  # repro-lint: disable=RPL010 -- budget clock"
+            ),
+            config=DET,
+        )
+        assert rule_ids(res) == []
+        assert [f.rule_id for f in res.suppressed] == ["RPL010"]
+
+    def test_line_suppression_wrong_rule_still_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(inline="  # repro-lint: disable=RPL011"),
+            config=DET,
+        )
+        assert rule_ids(res) == ["RPL010"]
+
+    def test_blanket_line_suppression(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(inline="  # repro-lint: disable"),
+            config=DET,
+        )
+        assert rule_ids(res) == []
+
+    def test_file_suppression(self, tmp_path):
+        src = (
+            "# repro-lint: disable-file=RPL010 -- module-wide opt-out\n"
+            + textwrap.dedent(self.SRC.format(inline=""))
+        )
+        res = lint_source(tmp_path, src, config=DET)
+        assert rule_ids(res) == []
+        assert [f.rule_id for f in res.suppressed] == ["RPL010"]
+
+
+class TestBaseline:
+    SRC = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+    """
+
+    def test_round_trip(self, tmp_path):
+        res = lint_source(tmp_path, self.SRC, config=DET)
+        assert len(res.findings) == 1
+        path = tmp_path / "fixmod.py"
+        sf = SourceFile.parse(path, "fixmod", path.read_text())
+        by_path = {str(path): sf}
+        bl = Baseline.from_findings(res.findings, by_path)
+        bl_path = tmp_path / "baseline.json"
+        bl.save(bl_path)
+        loaded = Baseline.load(bl_path)
+        assert loaded.entries == bl.entries
+
+        res2 = lint_source(tmp_path, self.SRC, config=DET, baseline=loaded)
+        assert res2.findings == []
+        assert [f.rule_id for f in res2.baselined] == ["RPL010"]
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        res = lint_source(tmp_path, self.SRC, config=DET)
+        path = tmp_path / "fixmod.py"
+        sf = SourceFile.parse(path, "fixmod", path.read_text())
+        bl = Baseline.from_findings(res.findings, {str(path): sf})
+
+        shifted = "\n\n\n" + textwrap.dedent(self.SRC)
+        res2 = lint_source(tmp_path, shifted, config=DET, baseline=bl)
+        assert res2.findings == []
+        assert len(res2.baselined) == 1
+
+    def test_unknown_version_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(p)
+
+
+class TestOutputFormats:
+    def _result(self, tmp_path):
+        return lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """, config=DET)
+
+    def test_text_format(self, tmp_path):
+        out = render(self._result(tmp_path), "text")
+        assert "RPL010" in out
+        assert "1 finding(s)" in out
+        assert ":5:" in out  # line number present
+
+    def test_json_format(self, tmp_path):
+        out = render(self._result(tmp_path), "json")
+        data = json.loads(out)
+        assert data["ok"] is False
+        assert data["findings"][0]["rule_id"] == "RPL010"
+        assert data["findings"][0]["line"] == 5
+        assert data["findings"][0]["severity"] == "error"
+
+    def test_github_format(self, tmp_path):
+        out = render(self._result(tmp_path), "github")
+        assert out.startswith("::error file=")
+        assert "title=RPL010" in out
+        assert ",line=5," in out
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(self._result(tmp_path), "xml")
+
+    def test_deterministic_ordering(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def b():
+                return time.perf_counter()
+
+            def a():
+                return time.time()
+        """, config=DET)
+        lines = [f.line for f in res.findings]
+        assert lines == sorted(lines)
+
+
+class TestFramework:
+    def test_all_rules_unique_and_wellformed(self):
+        rules = all_rules()
+        ids = [r.rule_id for r in rules]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 10
+        for r in rules:
+            assert r.summary
+            assert r.severity in ("error", "warning")
+
+    def test_bad_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="RPLxxx"):
+            Rule("XYZ01", "bad", "error", "nope")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Rule("RPL099", "bad", "fatal", "nope")
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        files, errors = discover_files([bad])
+        assert files == []
+        assert len(errors) == 1
+        assert "SyntaxError" in errors[0][1]
+
+    def test_run_lint_end_to_end(self, tmp_path):
+        p = tmp_path / "mod.py"
+        p.write_text("def cache_key(a):\n    import os\n    return os.getenv('X')\n")
+        result = run_lint([p])
+        assert not result.ok
+        assert rule_ids(result) == ["RPL030"]
+
+
+class TestSelfHosted:
+    """The repo lints itself clean with the committed baseline."""
+
+    def test_src_repro_is_clean(self):
+        repo = Path(__file__).resolve().parents[1]
+        baseline_path = repo / "lint-baseline.json"
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path.exists() else None
+        )
+        result = run_lint(
+            [repo / "src" / "repro"],
+            baseline=baseline,
+            src_roots=[repo / "src"],
+        )
+        assert result.parse_errors == []
+        assert result.findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id} {f.message}"
+            for f in result.findings
+        )
