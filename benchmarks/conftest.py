@@ -16,153 +16,30 @@ Two scales are used (see repro.workload):
   Table II's N and Table V's root supernode sizes; timing via the list
   scheduler.
 
-Expensive artifacts are memoized per session.
+The memoization cache itself lives in :mod:`repro.bench.workloads` so
+the ``python -m repro bench`` scenario registry reuses the same
+artifacts; this conftest wraps the process-wide instance in session
+fixtures.  Within one process, pytest benches and CLI scenarios hit one
+cache.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
 
-import numpy as np
 import pytest
 
-from repro.autotune import train_default_classifier
-from repro.gpu import SimulatedNode, tesla_t10_model
-from repro.matrices import TEST_MATRICES
-from repro.multifrontal import factorize_numeric
-from repro.multifrontal.numeric import replay_factorize
-from repro.parallel import list_schedule, make_worker_pool
-from repro.policies import BaselineHybrid, IdealHybrid, ModelHybrid, make_policy
-from repro.symbolic import symbolic_factorize
-from repro.workload import PAPER_WORKLOADS, paper_workload
+from repro.bench.workloads import SuiteCache, shared_suite
+
+__all__ = ["SuiteCache", "save_result"]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-
-
-@dataclass
-class SuiteCache:
-    """Lazily built, memoized experiment artifacts."""
-
-    model: object = field(default_factory=tesla_t10_model)
-    _matrices: dict = field(default_factory=dict)
-    _symbolic: dict = field(default_factory=dict)
-    _workloads: dict = field(default_factory=dict)
-    _replays: dict = field(default_factory=dict)
-    _schedules: dict = field(default_factory=dict)
-    _factors: dict = field(default_factory=dict)
-    _classifier: object = None
-    _ideal: object = None
-
-    # ---- numeric-scale artifacts --------------------------------------
-    def matrix(self, name: str):
-        if name not in self._matrices:
-            spec = next(s for s in TEST_MATRICES if s.name == name)
-            self._matrices[name] = spec.build()
-        return self._matrices[name]
-
-    def symbolic(self, name: str):
-        if name not in self._symbolic:
-            self._symbolic[name] = symbolic_factorize(
-                self.matrix(name), ordering="nd"
-            )
-        return self._symbolic[name]
-
-    # ---- paper-scale workloads ----------------------------------------
-    def workload(self, name: str):
-        if name not in self._workloads:
-            self._workloads[name] = paper_workload(name)
-        return self._workloads[name]
-
-    # ---- policies -------------------------------------------------------
-    def classifier(self):
-        if self._classifier is None:
-            self._classifier = train_default_classifier(self.model)
-        return self._classifier
-
-    def ideal(self):
-        """One shared IdealHybrid so its (m, k) cache persists."""
-        if self._ideal is None:
-            self._ideal = IdealHybrid(self.model)
-        return self._ideal
-
-    def policy(self, policy_name: str):
-        if policy_name == "baseline":
-            return BaselineHybrid()
-        if policy_name == "ideal":
-            return self.ideal()
-        if policy_name == "model":
-            return ModelHybrid(self.classifier())
-        return make_policy(policy_name)
-
-    # ---- timing paths -----------------------------------------------------
-    def replay(self, matrix_name: str, policy_name: str):
-        """Numeric-scale replay (records + makespan, no numerics)."""
-        key = (matrix_name, policy_name)
-        if key not in self._replays:
-            node = SimulatedNode(model=self.model, n_cpus=1, n_gpus=1)
-            self._replays[key] = replay_factorize(
-                self.symbolic(matrix_name), self.policy(policy_name), node=node
-            )
-        return self._replays[key]
-
-    def schedule(self, workload_name: str, policy_name: str,
-                 n_cpus: int = 1, n_gpus: int = 1,
-                 gang_threshold: float | None = None):
-        """Paper-scale schedule via the list scheduler.
-
-        Serial runs disable gang scheduling (one worker can't gang);
-        multi-worker runs gang the huge root fronts, mirroring WSMP's
-        switch to parallel dense kernels at the top of the tree.
-        """
-        if gang_threshold is None:
-            gang_threshold = np.inf if n_cpus == 1 else 5e9
-        key = (workload_name, policy_name, n_cpus, n_gpus, gang_threshold)
-        if key not in self._schedules:
-            pool = make_worker_pool(n_cpus, n_gpus, model=self.model)
-            self._schedules[key] = list_schedule(
-                self.workload(workload_name), self.policy(policy_name), pool,
-                gang_threshold=gang_threshold,
-            )
-        return self._schedules[key]
-
-    def factor(self, matrix_name: str, policy_name: str):
-        """Real numeric factorization (used sparingly: validation bench)."""
-        key = (matrix_name, policy_name)
-        if key not in self._factors:
-            node = SimulatedNode(model=self.model, n_cpus=1, n_gpus=1)
-            self._factors[key] = factorize_numeric(
-                self.matrix(matrix_name),
-                self.symbolic(matrix_name),
-                self.policy(policy_name),
-                node=node,
-            )
-        return self._factors[key]
-
-    def all_records(self, policy_name: str):
-        """Concatenated F-U records of the numeric-scale suite (replay)."""
-        records = []
-        for spec in TEST_MATRICES:
-            records.extend(self.replay(spec.name, policy_name).records)
-        return records
-
-    def paper_records(self, policy_name: str, workloads=("audikw_1", "kyushu")):
-        """Per-call records of paper-scale workloads (isolated per-call
-        times from the scheduler)."""
-        records = []
-        for w in workloads:
-            records.extend(
-                replay_factorize(
-                    self.workload(w), self.policy(policy_name),
-                    node=SimulatedNode(model=self.model, n_cpus=1, n_gpus=1),
-                ).records
-            )
-        return records
+os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
 @pytest.fixture(scope="session")
 def suite():
-    return SuiteCache()
+    return shared_suite()
 
 
 @pytest.fixture(scope="session")

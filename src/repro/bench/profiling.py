@@ -1,0 +1,57 @@
+"""cProfile hook for the benchmark harness.
+
+``--profile`` attaches a profiler to one extra (untimed) run of each
+scenario and stores the top-N functions by cumulative time in the
+result JSON.  Paths are normalized (repo/site-packages prefixes
+stripped) so the table reads the same on any checkout; the profile
+section is informational — it is never part of the regression gate and
+never required to be byte-stable.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Callable
+
+__all__ = ["profile_call"]
+
+
+def _normalize_path(path: str) -> str:
+    for marker in ("/site-packages/", "/src/"):
+        idx = path.rfind(marker)
+        if idx >= 0:
+            return path[idx + len(marker):]
+    # builtins show up as '~'
+    return path.rsplit("/", 1)[-1]
+
+
+def profile_call(fn: Callable[[], object], top: int = 15) -> list[dict]:
+    """Run ``fn`` under cProfile; return the top-N cumulative hot spots.
+
+    Each row: ``{"function", "ncalls", "tottime", "cumtime"}`` with
+    ``function`` as ``path:lineno(name)`` after path normalization.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    for (path, lineno, name), (cc, nc, tottime, cumtime, _callers) in entries:
+        rows.append({
+            "function": f"{_normalize_path(path)}:{lineno}({name})",
+            "ncalls": int(nc),
+            "tottime": round(float(tottime), 6),
+            "cumtime": round(float(cumtime), 6),
+        })
+        if len(rows) >= top:
+            break
+    return rows

@@ -1,0 +1,382 @@
+"""The benchmark scenario registry.
+
+A scenario is one reproducible measurement: a ``prepare`` step that
+warms the shared :class:`~repro.bench.workloads.SuiteCache` (symbolic
+analysis, paper workloads, the trained classifier, the assembly plan)
+and a ``run`` step whose wall-clock time is sampled and whose outputs
+are reduced to the two counter classes of
+:mod:`repro.bench.results`.
+
+Scenario ``run`` functions must be deterministic: the runner executes
+them N times and *errors* if any deterministic counter differs between
+repeats.  Nothing in this module may read the wall clock — timing is
+the runner's job (and the lint gate pins that: ``repro.bench`` is in
+the RPL010/RPL011 deterministic scope).
+
+Covered surface (the ISSUE-5 matrix): numeric-scale factorization
+(serial P1/P4 and the serial/static/dynamic backend triple),
+paper-scale replays under the P1 / P4 / baseline-hybrid (P_BH) /
+model-hybrid (P_MH) policies, ``SolverService`` cache throughput, and
+solve + iterative refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.workloads import SuiteCache
+
+__all__ = [
+    "Measurement",
+    "Scenario",
+    "all_scenarios",
+    "get_scenarios",
+    "scenario_names",
+]
+
+#: numeric-scale matrix the factorize scenarios run (smallest Table-II
+#: analog: full numerics in ~0.5 s, large enough that per-front Python
+#: overhead is visible)
+FACTOR_MATRIX = "lmco_s"
+#: paper-scale workload the replay scenarios price
+PAPER_WORKLOAD = "audikw_1"
+
+
+@dataclass
+class Measurement:
+    """What one scenario run boils down to."""
+
+    deterministic: dict[str, object]
+    numeric: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    run: Callable[[SuiteCache], Measurement]
+    prepare: Callable[[SuiteCache], None]
+    tags: tuple[str, ...] = ()
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def _register(scn: Scenario) -> Scenario:
+    if scn.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario {scn.name!r}")
+    _REGISTRY[scn.name] = scn
+    return scn
+
+
+def all_scenarios() -> list[Scenario]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_scenarios(names: list[str] | None) -> list[Scenario]:
+    if not names:
+        return all_scenarios()
+    missing = [n for n in names if n not in _REGISTRY]
+    if missing:
+        raise KeyError(
+            f"unknown scenario(s) {', '.join(missing)}; "
+            f"known: {', '.join(scenario_names())}"
+        )
+    return [_REGISTRY[n] for n in names]
+
+
+# ----------------------------------------------------------------------
+# counter extraction helpers
+# ----------------------------------------------------------------------
+def _policy_count_counters(records) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for r in records:
+        counts[r.policy] = counts.get(r.policy, 0) + 1
+    return {
+        f"policy_calls.{name}": counts[name] for name in sorted(counts)
+    }
+
+
+def _node_counters(node) -> dict[str, object]:
+    from repro.gpu.clock import engine_counters
+
+    out: dict[str, object] = {}
+    out.update(engine_counters(node.engines))
+    for g in node.gpus:
+        out.update(g.device_pool.stats.as_counters(f"gpu{g.gpu_id}.device_pool"))
+        out.update(g.pinned_pool.stats.as_counters(f"gpu{g.gpu_id}.pinned_pool"))
+    return out
+
+
+def _factor_measurement(nf, sf) -> Measurement:
+    from repro.verify.lattice import factor_fingerprint
+
+    det: dict[str, object] = {
+        "simulated_seconds": float(nf.makespan),
+        "assembly_seconds": float(nf.assembly_seconds),
+        "total_flops": float(sum(r.total_flops for r in nf.records)),
+        "fu_calls": len(nf.records),
+        "n": int(sf.n),
+        "nnz_factor": int(sf.nnz_factor),
+        "n_supernodes": int(sf.n_supernodes),
+        "peak_update_bytes": int(nf.peak_update_bytes),
+    }
+    det.update(_policy_count_counters(nf.records))
+    det.update(_node_counters(nf.node))
+    return Measurement(det, {"factor_fingerprint": factor_fingerprint(nf)})
+
+
+# ----------------------------------------------------------------------
+# numeric-scale factorization scenarios
+# ----------------------------------------------------------------------
+def _factorize(suite: SuiteCache, policy_name: str):
+    from repro.gpu import SimulatedNode
+    from repro.multifrontal import factorize_numeric
+
+    node = SimulatedNode(model=suite.model, n_cpus=1, n_gpus=1)
+    return factorize_numeric(
+        suite.matrix(FACTOR_MATRIX),
+        suite.symbolic(FACTOR_MATRIX),
+        suite.policy(policy_name),
+        node=node,
+    )
+
+
+def _make_factorize_scenario(policy_name: str) -> Scenario:
+    def prepare(suite: SuiteCache) -> None:
+        # warm the matrix, the symbolic factorization and the cached
+        # assembly plan so the timed repeats measure steady state
+        _factorize(suite, policy_name)
+
+    def run(suite: SuiteCache) -> Measurement:
+        nf = _factorize(suite, policy_name)
+        return _factor_measurement(nf, suite.symbolic(FACTOR_MATRIX))
+
+    return Scenario(
+        name=f"factorize-serial-{policy_name.lower()}",
+        description=(
+            f"serial numeric multifrontal factorization of {FACTOR_MATRIX} "
+            f"under policy {policy_name} (1 CPU + 1 simulated GPU)"
+        ),
+        run=run,
+        prepare=prepare,
+        tags=("deterministic", "factorize"),
+    )
+
+
+_register(_make_factorize_scenario("P1"))
+_register(_make_factorize_scenario("P4"))
+
+
+# ----------------------------------------------------------------------
+# backend triple: the counters the differential gate relies on
+# ----------------------------------------------------------------------
+def _backends_run(suite: SuiteCache) -> Measurement:
+    from repro.multifrontal import SparseCholeskySolver
+    from repro.verify.lattice import factor_fingerprint
+
+    a = suite.matrix(FACTOR_MATRIX)
+    sym = suite.symbolic(FACTOR_MATRIX)
+    det: dict[str, object] = {}
+    numeric: dict[str, object] = {}
+    fingerprints = []
+    for backend in ("serial", "static", "dynamic"):
+        solver = SparseCholeskySolver.from_symbolic(
+            a, sym, policy="P1", backend=backend
+        )
+        solver.factorize()
+        st = solver.stats
+        det[f"{backend}.simulated_seconds"] = float(st.simulated_seconds)
+        det[f"{backend}.total_flops"] = float(st.total_flops)
+        det[f"{backend}.fu_calls"] = len(solver.factor.records)
+        fp = factor_fingerprint(solver.factor)
+        fingerprints.append(fp)
+        numeric[f"{backend}.factor_fingerprint"] = fp
+    # cross-backend bitwise identity of the factor itself is portable
+    # (it holds on every machine or the backends are broken)
+    det["factors_bitwise_identical"] = bool(
+        fingerprints[0] == fingerprints[1] == fingerprints[2]
+    )
+    return Measurement(det, numeric)
+
+
+_register(Scenario(
+    name="factorize-backends",
+    description=(
+        f"factorize {FACTOR_MATRIX} through the serial, static and "
+        "dynamic backends; pins cross-backend flop totals and bitwise "
+        "factor identity"
+    ),
+    run=_backends_run,
+    prepare=lambda suite: _backends_run(suite) and None,
+    tags=("deterministic", "factorize", "backends"),
+))
+
+
+# ----------------------------------------------------------------------
+# paper-scale policy replays (P1 / P4 / P_BH / P_MH)
+# ----------------------------------------------------------------------
+_REPLAY_POLICIES = {
+    "p1": "P1",
+    "p4": "P4",
+    "bh": "baseline",   # the paper's baseline hybrid (P_BH)
+    "mh": "model",      # the auto-tuned model hybrid (P_MH)
+}
+
+
+def _make_replay_scenario(short: str, policy_name: str) -> Scenario:
+    def prepare(suite: SuiteCache) -> None:
+        suite.workload(PAPER_WORKLOAD)
+        suite.policy(policy_name)   # trains the classifier for "model"
+
+    def run(suite: SuiteCache) -> Measurement:
+        from repro.gpu import SimulatedNode
+        from repro.multifrontal.numeric import replay_factorize
+
+        node = SimulatedNode(model=suite.model, n_cpus=1, n_gpus=1)
+        rep = replay_factorize(
+            suite.workload(PAPER_WORKLOAD), suite.policy(policy_name),
+            node=node,
+        )
+        total_flops = float(sum(r.total_flops for r in rep.records))
+        det: dict[str, object] = {
+            "simulated_seconds": float(rep.makespan),
+            "assembly_seconds": float(rep.assembly_seconds),
+            "total_flops": total_flops,
+            "fu_calls": len(rep.records),
+            "effective_gflops": float(
+                total_flops / rep.makespan / 1e9 if rep.makespan > 0 else 0.0
+            ),
+        }
+        det.update(_policy_count_counters(rep.records))
+        det.update(_node_counters(node))
+        return Measurement(det)
+
+    return Scenario(
+        name=f"replay-paper-{short}",
+        description=(
+            f"paper-scale replay of {PAPER_WORKLOAD} under the "
+            f"{policy_name} policy (timing-only walk, no numerics)"
+        ),
+        run=run,
+        prepare=prepare,
+        tags=("deterministic", "replay", "paper"),
+    )
+
+
+for _short in sorted(_REPLAY_POLICIES):
+    _register(_make_replay_scenario(_short, _REPLAY_POLICIES[_short]))
+
+
+# ----------------------------------------------------------------------
+# SolverService cache throughput
+# ----------------------------------------------------------------------
+_SERVICE_PATTERNS = 3
+_SERVICE_REQUESTS = 24
+
+#: service counters that are decided by the request stream and the cache
+#: contents, never by thread timing (1 worker, sequential submission)
+_SERVICE_COUNTER_NAMES = (
+    "submitted",
+    "completed",
+    "numeric_factorizations",
+    "requests_miss",
+    "requests_symbolic",
+    "requests_numeric",
+    "degraded",
+    "timeouts",
+)
+
+
+def _service_stream():
+    """Repeated-pattern stream exercising all three cache tiers."""
+    from repro.matrices import grid_laplacian_2d
+    from repro.matrices.csc import CSCMatrix
+
+    patterns = [
+        grid_laplacian_2d(8 + 2 * p, 9 + p) for p in range(_SERVICE_PATTERNS)
+    ]
+    stream = []
+    for i in range(_SERVICE_REQUESTS):
+        base = patterns[i % _SERVICE_PATTERNS]
+        v = (i // _SERVICE_PATTERNS) % 3
+        stream.append(CSCMatrix(
+            base.shape, base.indptr, base.indices,
+            base.data * (1.0 + 0.5 * v), check=False,
+        ))
+    return stream
+
+
+def _service_run(suite: SuiteCache) -> Measurement:
+    from repro.service import SolverService
+
+    det: dict[str, object] = {
+        "requests": _SERVICE_REQUESTS,
+        "patterns": _SERVICE_PATTERNS,
+    }
+    with SolverService(n_workers=1, policy="P1", ordering="amd") as svc:
+        for a in _service_stream():
+            svc.solve(a, np.ones(a.n_rows))
+        rep = svc.report()
+    for name in _SERVICE_COUNTER_NAMES:
+        det[f"counter.{name}"] = int(rep["counters"].get(name, 0))
+    cache = rep["cache"]
+    for name in ("symbolic_hits", "numeric_hits", "evictions", "stored_bytes"):
+        det[f"cache.{name}"] = int(cache[name])
+    return Measurement(det)
+
+
+_register(Scenario(
+    name="service-throughput",
+    description=(
+        f"sequential stream of {_SERVICE_REQUESTS} requests over "
+        f"{_SERVICE_PATTERNS} patterns through SolverService (1 worker); "
+        "wall time prices the cache tiers, counters pin the tier decisions"
+    ),
+    run=_service_run,
+    prepare=lambda suite: _service_run(suite) and None,
+    tags=("deterministic", "service"),
+))
+
+
+# ----------------------------------------------------------------------
+# solve + iterative refinement
+# ----------------------------------------------------------------------
+def _solve_run(suite: SuiteCache) -> Measurement:
+    from repro.multifrontal.refine import iterative_refinement
+
+    a = suite.matrix(FACTOR_MATRIX)
+    factor = suite.factor(FACTOR_MATRIX, "P1")
+    b = np.ones(a.n_rows)
+    # tol=0 forces the full refinement budget so the scenario prices the
+    # paper's correction loop, not just the initial triangular solve
+    res = iterative_refinement(a, factor, b, tol=0.0, max_iter=2)
+    det: dict[str, object] = {
+        "iterations": int(res.iterations),
+        "n": int(a.n_rows),
+        "residual_trace_len": len(res.residual_norms),
+    }
+    numeric = {
+        "initial_residual": float(res.initial_residual),
+        "final_residual": float(res.final_residual),
+    }
+    return Measurement(det, numeric)
+
+
+_register(Scenario(
+    name="solve-refine",
+    description=(
+        f"triangular solves + two forced refinement steps on the cached "
+        f"{FACTOR_MATRIX} P1 factor (ones right-hand side)"
+    ),
+    run=_solve_run,
+    prepare=lambda suite: _solve_run(suite) and None,
+    tags=("deterministic", "solve"),
+))

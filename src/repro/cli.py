@@ -472,6 +472,99 @@ def _lint_self_check(repo_root) -> int:
     return rc
 
 
+def cmd_bench(args) -> int:
+    """Deterministic benchmarks + perf-regression gate (repro.bench)."""
+    from pathlib import Path
+
+    from repro.analysis import format_table
+    from repro.bench import (
+        BenchDeterminismError,
+        RunOptions,
+        all_scenarios,
+        compare_results,
+        load_results_dir,
+        run_scenarios,
+    )
+
+    if args.list:
+        rows = [
+            [s.name, ",".join(s.tags), s.description] for s in all_scenarios()
+        ]
+        print(format_table(
+            ["scenario", "tags", "description"], rows, title="bench scenarios",
+        ))
+        return 0
+
+    if args.check and not args.baseline:
+        print("bench: --check requires --baseline DIR", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        bdir = Path(args.baseline)
+        if not bdir.is_dir():
+            print(f"bench: baseline dir does not exist: {bdir}", file=sys.stderr)
+            return 2
+        baseline = load_results_dir(bdir)
+        if not baseline:
+            print(f"bench: no BENCH_*.json under {bdir}", file=sys.stderr)
+            return 2
+
+    names = args.scenarios or None
+    options = RunOptions(
+        repeats=args.repeats, profile=args.profile, profile_top=args.profile_top
+    )
+    try:
+        results = run_scenarios(names, options=options)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except BenchDeterminismError as exc:
+        print(f"bench: DETERMINISM FAILURE\n{exc}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.scenario,
+            r.repeats,
+            f"{r.wall.median_seconds * 1e3:.1f}",
+            f"{r.wall.mad_seconds * 1e3:.2f}",
+            len(r.deterministic),
+        ])
+    print(format_table(
+        ["scenario", "repeats", "wall median (ms)", "MAD (ms)", "counters"],
+        rows, title="bench results",
+    ))
+
+    # write BENCH_<scenario>.json; during --check nothing is written
+    # unless an out-dir is explicitly requested (the committed baselines
+    # must not be clobbered by the gate that reads them)
+    out_dir = args.out_dir
+    if not out_dir and not args.check:
+        out_dir = "."
+    if out_dir:
+        for r in results:
+            path = r.write(out_dir)
+            print(f"wrote {path}")
+
+    if args.check:
+        if names:
+            # subset run: only gate what actually ran, rather than
+            # flagging every un-requested baseline as GONE
+            baseline = {k: v for k, v in baseline.items() if k in set(names)}
+        report = compare_results(
+            {r.scenario: r for r in results},
+            baseline,
+            check_wall=not args.skip_wall,
+            check_numeric=args.check_numeric,
+            mad_factor=args.mad_factor,
+            rel_floor=args.rel_floor,
+        )
+        print(report.format())
+        return 0 if report.ok else 1
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Differential verification: config lattice, invariants, fuzzing."""
     from repro.verify import format_suite, run_fuzz, verify_suite
@@ -645,6 +738,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="first fuzz case seed")
     v.add_argument("--witness-dir", default="",
                    help="persist shrunk failure witnesses here")
+
+    be = sub.add_parser(
+        "bench",
+        help="deterministic benchmarks + perf-regression gate "
+             "(BENCH_<scenario>.json)",
+    )
+    be.add_argument("--list", action="store_true",
+                    help="print the scenario registry and exit")
+    be.add_argument("--scenarios", default=None,
+                    type=lambda s: [t for t in s.split(",") if t],
+                    help="comma-separated scenario names (default: all)")
+    be.add_argument("--repeats", type=int, default=3,
+                    help="timed repeats per scenario (counters must be "
+                         "bit-identical across all of them)")
+    be.add_argument("--profile", action="store_true",
+                    help="attach cProfile and embed top hot spots per "
+                         "scenario in the JSON")
+    be.add_argument("--profile-top", type=int, default=15,
+                    help="hot-spot rows to keep with --profile")
+    be.add_argument("--out-dir", default="",
+                    help="where to write BENCH_*.json (default: CWD, or "
+                         "nowhere under --check)")
+    be.add_argument("--check", action="store_true",
+                    help="gate mode: compare against --baseline, exit 1 "
+                         "on regression")
+    be.add_argument("--baseline", default="",
+                    help="directory holding committed BENCH_*.json")
+    be.add_argument("--skip-wall", action="store_true",
+                    help="gate on deterministic counters only (for "
+                         "cross-machine CI)")
+    be.add_argument("--check-numeric", action="store_true",
+                    help="also gate the machine-local numeric section "
+                         "(fingerprints, residuals)")
+    be.add_argument("--mad-factor", type=float, default=5.0,
+                    help="wall tolerance: this many baseline MADs")
+    be.add_argument("--rel-floor", type=float, default=0.25,
+                    help="wall tolerance floor as a fraction of the "
+                         "baseline median")
     return p
 
 
@@ -660,6 +791,7 @@ _COMMANDS = {
     "runtime-bench": cmd_runtime_bench,
     "lint": cmd_lint,
     "verify": cmd_verify,
+    "bench": cmd_bench,
 }
 
 

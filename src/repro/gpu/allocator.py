@@ -34,6 +34,18 @@ class AllocationStats:
     high_water: int = 0
     alloc_seconds: float = 0.0
 
+    def as_counters(self, prefix: str) -> dict[str, float | int]:
+        """Flatten into deterministic named counters (simulated-time and
+        byte accounting only), for the benchmark harness's regression
+        gate."""
+        return {
+            f"{prefix}.requests": int(self.n_requests),
+            f"{prefix}.growths": int(self.n_growths),
+            f"{prefix}.bytes_requested": int(self.bytes_requested),
+            f"{prefix}.high_water": int(self.high_water),
+            f"{prefix}.alloc_seconds": float(self.alloc_seconds),
+        }
+
 
 @dataclass
 class HighWaterMarkPool:

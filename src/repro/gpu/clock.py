@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SimTask", "TaskGraph", "EngineTimeline", "schedule_graph"]
+__all__ = [
+    "SimTask",
+    "TaskGraph",
+    "EngineTimeline",
+    "engine_counters",
+    "schedule_graph",
+]
 
 
 @dataclass
@@ -166,6 +172,25 @@ def schedule_graph(
         timeline.n_tasks += 1
         makespan = max(makespan, task.end)
     return ScheduleResult(makespan, eng, list(graph.tasks), start_time)
+
+
+def engine_counters(
+    engines: dict[str, EngineTimeline], prefix: str = "engine"
+) -> dict[str, float | int]:
+    """Flatten per-engine timelines into deterministic named counters.
+
+    Everything here is derived from the virtual clock — simulated busy
+    seconds, task counts, final availability — so the values are
+    bit-stable across runs and machines.  The benchmark harness
+    (:mod:`repro.bench`) records them as regression-gated counters.
+    """
+    out: dict[str, float | int] = {}
+    for name in sorted(engines):
+        t = engines[name]
+        out[f"{prefix}.{name}.busy_seconds"] = float(t.busy)
+        out[f"{prefix}.{name}.tasks"] = int(t.n_tasks)
+        out[f"{prefix}.{name}.free_at"] = float(t.free_at)
+    return out
 
 
 def critical_path(result: ScheduleResult) -> list[SimTask]:

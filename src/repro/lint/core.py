@@ -180,6 +180,7 @@ class LintConfig:
         "repro.runtime.engine",
         "repro.runtime.faults",
         "repro.verify",
+        "repro.bench",
     )
     #: modules whose functions feed cache keys (plus any ``*_key`` fn)
     key_modules: tuple[str, ...] = ("repro.service.keys",)

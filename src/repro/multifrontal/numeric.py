@@ -21,7 +21,11 @@ from repro.dense.kernels import NotPositiveDefiniteError
 from repro.gpu.allocator import DeviceMemoryError
 from repro.gpu.device import SimulatedNode
 from repro.matrices.csc import CSCMatrix
-from repro.multifrontal.frontal import assemble_front, assembly_bytes
+from repro.multifrontal.frontal import (
+    assemble_front_planned,
+    assembly_bytes,
+    get_assembly_plan,
+)
 from repro.policies.base import Policy, PolicyP1, Worker
 from repro.symbolic.symbolic import SymbolicFactor, factor_update_flops
 
@@ -154,13 +158,18 @@ def factorize_numeric(
 
     n_super = sf.n_supernodes
     panels: list[np.ndarray | None] = [None] * n_super
-    updates: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    updates: dict[int, np.ndarray] = {}
     final_task: dict[int, object] = {}
     records: list[FURecord] = []
     kids = sf.schildren()
     live_update_bytes = 0
     peak_update_bytes = 0
     assembly_seconds = 0.0
+    # index construction (scatter destinations, extend-add positions) is
+    # pattern-only work: precomputed once and cached on sf, so repeated
+    # factorizations of the same structure skip it entirely
+    plan = get_assembly_plan(a_lower, sf)
+    a_data = a_lower.data
 
     from repro.gpu.clock import TaskGraph, schedule_graph
 
@@ -171,14 +180,16 @@ def factorize_numeric(
         k = sf.width(s)
         m = rows.size - k
         child_ids = kids[s]
-        child_updates = [updates.pop(c) for c in child_ids if c in updates]
+        child_updates = [(c, updates.pop(c)) for c in child_ids if c in updates]
         live_update_bytes -= sum(u.size * 8 for _, u in child_updates)
 
-        front = assemble_front(a_lower, sf, s, child_updates)
+        front = assemble_front_planned(
+            plan, a_data, rows.size, s, child_updates
+        )
 
         # charge assembly time on the host engine
         t_asm = node.model.host_memory_time(
-            assembly_bytes(rows.size, [cr.size for cr, _ in child_updates])
+            assembly_bytes(rows.size, [u.shape[0] for _, u in child_updates])
         )
         g = TaskGraph()
         deps = tuple(final_task[c] for c in child_ids if c in final_task)
@@ -208,7 +219,7 @@ def factorize_numeric(
         panels[s] = front[:, :k].copy()
         if m > 0:
             u = front[k:, k:].copy()
-            updates[s] = (rows[k:], u)
+            updates[s] = u
             live_update_bytes += u.size * 8
             peak_update_bytes = max(peak_update_bytes, live_update_bytes)
 

@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.gpu.device import SimulatedNode
 from repro.matrices.csc import CSCMatrix
-from repro.multifrontal.frontal import assemble_front, assembly_bytes
+from repro.multifrontal.frontal import (
+    assemble_front_planned,
+    assembly_bytes,
+    get_assembly_plan,
+)
 from repro.multifrontal.numeric import FURecord, NumericFactor
 from repro.parallel.workers import WorkerPool
 from repro.policies.base import Policy, PolicyP1, Worker, estimate_policy_time
@@ -258,15 +262,18 @@ def parallel_factorize(
     a_lower = a_perm.lower_triangle()
     kids = sf.schildren()
     panels: list[np.ndarray | None] = [None] * sf.n_supernodes
-    updates: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    updates: dict[int, np.ndarray] = {}
     records: list[FURecord] = []
+    plan = get_assembly_plan(a_lower, sf)
     for s in sf.spost:
         s = int(s)
         rows = sf.rows[s]
         k = sf.width(s)
         m = rows.size - k
-        child_updates = [updates.pop(c) for c in kids[s] if c in updates]
-        front = assemble_front(a_lower, sf, s, child_updates)
+        child_updates = [(c, updates.pop(c)) for c in kids[s] if c in updates]
+        front = assemble_front_planned(
+            plan, a_lower.data, rows.size, s, child_updates
+        )
         if s in degraded_sids:
             base = fallback
         else:
@@ -278,7 +285,7 @@ def parallel_factorize(
         l1, l2, u = base.apply(front, k, numeric_worker)
         panels[s] = front[:, :k].copy()
         if m > 0:
-            updates[s] = (rows[k:], front[k:, k:].copy())
+            updates[s] = front[k:, k:].copy()
         t = by_sid[s]
         records.append(
             FURecord(

@@ -1,0 +1,452 @@
+"""The benchmarking harness: schema, gate logic, runner, CLI, lint scope.
+
+Covers the ISSUE-5 matrix for :mod:`repro.bench`:
+
+* result schema round-trips and byte-stable serialization;
+* the baseline decision procedure (exact counters, MAD-scaled wall);
+* the runner's repeat-determinism enforcement and profiling hook;
+* CLI exit codes, including an injected counter regression;
+* two independent runs of a real scenario producing bit-identical
+  counters (the property the committed baselines rely on);
+* the planned assembly path being bitwise-identical to the legacy
+  per-column path (the PR's profiler-guided optimization);
+* the lint determinism scope covering ``repro.bench``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchDeterminismError,
+    BenchResult,
+    Measurement,
+    RunOptions,
+    Scenario,
+    WallStats,
+    compare_results,
+    profile_call,
+    result_filename,
+    run_scenario,
+)
+from repro.bench.results import SCHEMA_VERSION, load_results_dir
+from repro.bench.workloads import SuiteCache
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def make_result(scenario="toy", *, det=None, numeric=None, median=0.1,
+                mad=0.01) -> BenchResult:
+    return BenchResult(
+        scenario=scenario,
+        description="synthetic",
+        repeats=3,
+        deterministic=det if det is not None else {"flops": 100.0, "calls": 7},
+        numeric=numeric if numeric is not None else {"residual": 1e-14},
+        wall=WallStats(
+            samples=(median, median + mad, median - mad),
+            median_seconds=median,
+            mad_seconds=mad,
+        ),
+        tags=("synthetic",),
+    )
+
+
+# ----------------------------------------------------------------------
+# results schema
+# ----------------------------------------------------------------------
+class TestResults:
+    def test_wallstats_from_samples(self):
+        ws = WallStats.from_samples([0.3, 0.1, 0.2])
+        assert ws.median_seconds == pytest.approx(0.2)
+        assert ws.mad_seconds == pytest.approx(0.1)
+        assert ws.samples == (0.3, 0.1, 0.2)
+
+    def test_roundtrip(self):
+        r = make_result()
+        back = BenchResult.from_dict(json.loads(r.to_json()))
+        assert back == r
+
+    def test_json_is_byte_stable_and_sorted(self):
+        r = make_result()
+        s1, s2 = r.to_json(), r.to_json()
+        assert s1 == s2
+        assert s1.endswith("\n")
+        d = json.loads(s1)
+        assert list(d["deterministic"]) == sorted(d["deterministic"])
+
+    def test_write_and_load(self, tmp_path):
+        r = make_result()
+        path = r.write(tmp_path)
+        assert path.name == result_filename("toy") == "BENCH_toy.json"
+        assert BenchResult.load(path) == r
+        loaded = load_results_dir(tmp_path)
+        assert set(loaded) == {"toy"}
+        assert loaded["toy"] == r
+
+    def test_schema_version_rejected(self):
+        d = json.loads(make_result().to_json())
+        d["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            BenchResult.from_dict(d)
+
+
+# ----------------------------------------------------------------------
+# comparison / gate logic
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_identical_passes(self):
+        base, new = make_result(), make_result()
+        rep = compare_results({"toy": new}, {"toy": base})
+        assert rep.ok
+        assert "all gates passed" in rep.format()
+
+    def test_counter_change_fails(self):
+        base = make_result(det={"flops": 100.0})
+        new = make_result(det={"flops": 101.0})
+        rep = compare_results({"toy": new}, {"toy": base})
+        assert not rep.ok
+        assert "flops" in rep.format()
+
+    def test_added_and_removed_counters_fail(self):
+        base = make_result(det={"a": 1})
+        new = make_result(det={"b": 1})
+        rep = compare_results({"toy": new}, {"toy": base})
+        [v] = rep.verdicts
+        assert len(v.counter_diffs) == 2
+
+    def test_bool_int_distinction(self):
+        # True == 1 in Python; the gate must still catch the type drift
+        base = make_result(det={"ok": True})
+        new = make_result(det={"ok": 1})
+        assert not compare_results({"toy": new}, {"toy": base}).ok
+
+    def test_wall_within_tolerance_passes(self):
+        base = make_result(median=0.100, mad=0.010)
+        new = make_result(median=0.140, mad=0.001)   # +40ms < 5*MAD=50ms
+        assert compare_results({"toy": new}, {"toy": base}).ok
+
+    def test_wall_beyond_tolerance_fails(self):
+        base = make_result(median=0.100, mad=0.002)
+        # tolerance = max(5*0.002, 0.25*0.1) = 0.025; +60ms regresses
+        new = make_result(median=0.160, mad=0.002)
+        rep = compare_results({"toy": new}, {"toy": base})
+        assert not rep.ok
+        assert "wall-clock regression" in rep.format()
+
+    def test_rel_floor_shields_quiet_baselines(self):
+        base = make_result(median=0.100, mad=0.0)     # zero measured noise
+        new = make_result(median=0.120, mad=0.0)      # +20% < 25% floor
+        assert compare_results({"toy": new}, {"toy": base}).ok
+
+    def test_check_wall_off_ignores_regression(self):
+        base = make_result(median=0.1, mad=0.001)
+        new = make_result(median=9.9, mad=0.001)
+        assert compare_results({"toy": new}, {"toy": base},
+                               check_wall=False).ok
+
+    def test_numeric_gated_only_on_request(self):
+        base = make_result(numeric={"residual": 1e-14})
+        new = make_result(numeric={"residual": 2e-14})
+        assert compare_results({"toy": new}, {"toy": base}).ok
+        assert not compare_results({"toy": new}, {"toy": base},
+                                   check_numeric=True).ok
+
+    def test_missing_baseline_is_informational(self):
+        rep = compare_results({"toy": make_result()}, {})
+        assert rep.ok
+        assert "NEW" in rep.format()
+
+    def test_missing_result_fails(self):
+        rep = compare_results({}, {"toy": make_result()})
+        assert not rep.ok
+        assert "GONE" in rep.format()
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+def toy_scenario(name="toy", counter_source=None) -> Scenario:
+    def run(suite):
+        det = counter_source() if counter_source else {"value": 42}
+        return Measurement(dict(det), {"res": 0.5})
+
+    return Scenario(
+        name=name, description="synthetic toy scenario",
+        run=run, prepare=lambda suite: None, tags=("synthetic",),
+    )
+
+
+@pytest.fixture
+def toy_suite():
+    # never populated: the toy scenarios don't touch the cache
+    return SuiteCache()
+
+
+class TestRunner:
+    def test_run_scenario_shapes_result(self, toy_suite):
+        r = run_scenario(toy_scenario(), toy_suite, RunOptions(repeats=4))
+        assert r.scenario == "toy"
+        assert r.repeats == 4
+        assert len(r.wall.samples) == 4
+        assert r.deterministic == {"value": 42}
+        assert r.numeric == {"res": 0.5}
+        assert r.profile is None
+
+    def test_nondeterministic_counter_detected(self, toy_suite):
+        state = {"n": 0}
+
+        def drifting():
+            state["n"] += 1
+            return {"value": state["n"]}
+
+        with pytest.raises(BenchDeterminismError, match="not deterministic"):
+            run_scenario(toy_scenario(counter_source=drifting), toy_suite,
+                         RunOptions(repeats=2))
+
+    def test_type_drift_detected(self, toy_suite):
+        vals = iter([{"ok": True}, {"ok": 1}, {"ok": True}])
+        with pytest.raises(BenchDeterminismError):
+            run_scenario(toy_scenario(counter_source=lambda: next(vals)),
+                         toy_suite, RunOptions(repeats=2))
+
+    def test_profile_attached(self, toy_suite):
+        r = run_scenario(toy_scenario(), toy_suite,
+                         RunOptions(repeats=1, profile=True, profile_top=5))
+        assert r.profile is not None
+        assert len(r.profile) <= 5
+        assert all({"function", "ncalls", "tottime", "cumtime"} <= set(row)
+                   for row in r.profile)
+
+    def test_profile_call_names_hot_function(self):
+        def hot():
+            return sum(i * i for i in range(50_000))
+
+        rows = profile_call(hot, top=10)
+        assert any("hot" in row["function"] for row in rows)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+@pytest.fixture
+def with_toy_registry(monkeypatch):
+    from repro.bench import scenarios as registry
+
+    monkeypatch.setitem(registry._REGISTRY, "toy", toy_scenario())
+    return registry
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "factorize-serial-p1" in out
+        assert "service-throughput" in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["bench", "--scenarios", "no-such-scenario"]) == 2
+
+    def test_check_requires_baseline(self):
+        assert main(["bench", "--check", "--scenarios", "toy"]) == 2
+
+    def test_missing_baseline_dir(self, tmp_path):
+        assert main(["bench", "--check",
+                     "--baseline", str(tmp_path / "nope")]) == 2
+
+    def test_empty_baseline_dir(self, tmp_path):
+        assert main(["bench", "--check", "--baseline", str(tmp_path)]) == 2
+
+    def test_run_writes_results(self, with_toy_registry, tmp_path, capsys):
+        rc = main(["bench", "--scenarios", "toy", "--repeats", "2",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        path = tmp_path / "BENCH_toy.json"
+        assert path.exists()
+        r = BenchResult.load(path)
+        assert r.deterministic == {"value": 42}
+        assert r.repeats == 2
+
+    def test_check_clean_then_injected_regression(self, with_toy_registry,
+                                                  tmp_path, capsys):
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2",
+                     "--out-dir", str(tmp_path)]) == 0
+        # clean self-check passes (wall gated too: same machine, same toy)
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2",
+                     "--check", "--baseline", str(tmp_path)]) == 0
+        # inject a deterministic-counter regression into the baseline
+        path = tmp_path / "BENCH_toy.json"
+        d = json.loads(path.read_text())
+        d["deterministic"]["value"] = 41
+        path.write_text(json.dumps(d))
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2",
+                     "--check", "--baseline", str(tmp_path),
+                     "--skip-wall"]) == 1
+        err_out = capsys.readouterr().out
+        assert "counter regression" in err_out
+
+    def test_check_subset_ignores_unrun_baselines(self, with_toy_registry,
+                                                  tmp_path, capsys):
+        make_result("other").write(tmp_path)
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2",
+                     "--out-dir", str(tmp_path)]) == 0
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2",
+                     "--check", "--baseline", str(tmp_path),
+                     "--skip-wall"]) == 0
+
+    def test_determinism_failure_exits_one(self, monkeypatch):
+        from repro.bench import scenarios as registry
+
+        state = {"n": 0}
+
+        def drifting():
+            state["n"] += 1
+            return {"value": state["n"]}
+
+        monkeypatch.setitem(
+            registry._REGISTRY, "toy", toy_scenario(counter_source=drifting)
+        )
+        assert main(["bench", "--scenarios", "toy", "--repeats", "2"]) == 1
+
+
+# ----------------------------------------------------------------------
+# two independent runs of a real scenario are bit-identical
+# ----------------------------------------------------------------------
+def test_real_scenario_bit_stable_across_runs():
+    from repro.bench.scenarios import get_scenarios
+
+    [scn] = get_scenarios(["service-throughput"])
+    r1 = run_scenario(scn, SuiteCache(), RunOptions(repeats=2))
+    r2 = run_scenario(scn, SuiteCache(), RunOptions(repeats=2))
+    assert r1.deterministic == r2.deterministic
+    assert r1.numeric == r2.numeric
+
+
+# ----------------------------------------------------------------------
+# the planned assembly path (this PR's hot-path optimization)
+# ----------------------------------------------------------------------
+def test_planned_assembly_bitwise_matches_legacy():
+    """Every front assembled by the precomputed-scatter path must be
+    bitwise identical to the per-column legacy path, including the
+    extend-add of real (eliminated) child updates."""
+    from repro.matrices import grid_laplacian_3d
+    from repro.multifrontal.frontal import (
+        assemble_front,
+        get_assembly_plan,
+    )
+    from repro.multifrontal.frontal import assemble_front_planned
+    from repro.symbolic import symbolic_factorize
+
+    a = grid_laplacian_3d(6, 5, 4)
+    sf = symbolic_factorize(a, ordering="nd")
+    a_lower = a.permute_symmetric(sf.perm).lower_triangle()
+    plan = get_assembly_plan(a_lower, sf)
+    kids = sf.schildren()
+
+    updates: dict[int, np.ndarray] = {}
+    checked = 0
+    for s in sf.spost:
+        s = int(s)
+        rows = sf.rows[s]
+        k = sf.width(s)
+        child_ids = [c for c in kids[s] if c in updates]
+        legacy_children = [
+            (sf.rows[c][sf.width(c):], updates[c]) for c in child_ids
+        ]
+        planned_children = [(c, updates.pop(c)) for c in child_ids]
+
+        front_legacy = assemble_front(a_lower, sf, s, legacy_children)
+        front_planned = assemble_front_planned(
+            plan, a_lower.data, rows.size, s, planned_children
+        )
+        assert np.array_equal(front_legacy, front_planned), f"supernode {s}"
+        checked += 1
+
+        # eliminate (plain dense partial Cholesky) to produce genuine
+        # child updates for the parents
+        f11 = front_planned[:k, :k]
+        l11 = np.linalg.cholesky(f11)
+        if rows.size > k:
+            l21 = np.linalg.solve(l11, front_planned[:k, k:]).T
+            updates[s] = front_planned[k:, k:] - l21 @ l21.T
+    assert checked == sf.n_supernodes
+    assert not updates
+
+
+def test_assembly_plan_cached_on_symbolic():
+    from repro.matrices import grid_laplacian_2d
+    from repro.multifrontal.frontal import get_assembly_plan
+    from repro.symbolic import symbolic_factorize
+
+    a = grid_laplacian_2d(7, 6)
+    sf = symbolic_factorize(a, ordering="nd")
+    a_lower = a.permute_symmetric(sf.perm).lower_triangle()
+    p1 = get_assembly_plan(a_lower, sf)
+    p2 = get_assembly_plan(a_lower, sf)
+    assert p1 is p2
+
+
+def test_assembly_plan_rejects_out_of_pattern_entries():
+    from repro.matrices import grid_laplacian_2d
+    from repro.matrices.csc import CSCMatrix
+    from repro.multifrontal.frontal import build_assembly_plan
+    from repro.symbolic import symbolic_factorize
+
+    a = grid_laplacian_2d(6, 6)
+    sf = symbolic_factorize(a, ordering="nd")
+    a_lower = a.permute_symmetric(sf.perm).lower_triangle()
+    build_assembly_plan(a_lower, sf)  # in-pattern: fine
+
+    # move one entry of some early column to a row outside that
+    # supernode's symbolic row set — the plan must refuse at build time
+    # with the same error the per-column path raises
+    indices = a_lower.indices.copy()
+    n = a_lower.n_rows
+    for s in range(sf.n_supernodes):
+        rowset = set(int(r) for r in sf.rows[s])
+        outside = [r for r in range(n - 1, -1, -1) if r not in rowset]
+        if not outside:
+            continue
+        j = int(sf.super_ptr[s])
+        lo, hi = int(a_lower.indptr[j]), int(a_lower.indptr[j + 1])
+        if hi - lo == 0 or outside[0] <= int(indices[hi - 1]):
+            continue
+        indices[hi - 1] = outside[0]  # still sorted: strictly larger
+        break
+    else:
+        pytest.skip("no supernode with room for an out-of-pattern entry")
+    bad_lower = CSCMatrix(
+        a_lower.shape, a_lower.indptr, indices, a_lower.data, check=False
+    )
+    with pytest.raises(ValueError, match="pattern"):
+        build_assembly_plan(bad_lower, sf)
+
+
+# ----------------------------------------------------------------------
+# lint scope: repro.bench is inside the determinism fence
+# ----------------------------------------------------------------------
+class TestLintScope:
+    def test_bench_in_deterministic_modules(self):
+        from repro.lint import LintConfig
+
+        assert any(
+            "repro.bench".startswith(m) or m == "repro.bench"
+            for m in LintConfig().deterministic_modules
+        )
+
+    def test_bench_package_is_clean_under_determinism_rules(self):
+        from repro.lint import run_lint
+
+        res = run_lint([REPO / "src" / "repro" / "bench"],
+                       src_roots=[REPO / "src"])
+        assert res.parse_errors == []
+        assert [f.rule_id for f in res.findings] == []
+        # exactly one sanctioned wall-clock read: the runner's timer
+        rpl010 = [f for f in res.suppressed if f.rule_id == "RPL010"]
+        assert len(rpl010) == 1
+        assert rpl010[0].path.endswith("runner.py")

@@ -1,0 +1,123 @@
+"""Property-based invariants behind the bench gate (hypothesis).
+
+The committed ``BENCH_*.json`` baselines hard-fail on any
+deterministic-counter change, so the harness leans on two empirical
+facts about the engine, pinned here over *random* SPD matrices rather
+than the handful of fixed scenarios:
+
+* **cross-backend invariance** — flop totals, call counts and the
+  factor itself (bitwise, via the BLAKE2b fingerprint) are identical
+  whether the tree is walked serially, by the static partitioner or by
+  the dynamic scheduler.  Simulated makespans are *not* bitwise
+  invariant across backends (float reassociation under different
+  scheduling orders), so they are only required to agree loosely.
+* **run-to-run stability** — repeating the same configuration must
+  reproduce every counter bit for bit, including the makespan and the
+  allocator high-water marks.  This is the property the repeat-checker
+  in :mod:`repro.bench.runner` enforces on every bench run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import SimulatedNode
+from repro.matrices import random_spd
+from repro.multifrontal import SparseCholeskySolver, factorize_numeric
+from repro.symbolic import symbolic_factorize
+from repro.verify.lattice import factor_fingerprint
+
+BACKENDS = ("serial", "static", "dynamic")
+
+
+@st.composite
+def spd_problem(draw, max_n=32):
+    n = draw(st.integers(8, max_n))
+    seed = draw(st.integers(0, 10_000))
+    degree = draw(st.floats(2.0, 6.0))
+    return random_spd(n, avg_degree=degree, seed=seed)
+
+
+def _run_backend(a, sym, backend, policy="P1"):
+    solver = SparseCholeskySolver.from_symbolic(
+        a, sym, policy=policy, backend=backend
+    )
+    solver.factorize()
+    return solver
+
+
+class TestCrossBackendInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(spd_problem())
+    def test_flops_calls_and_factor_bitwise_invariant(self, a):
+        sym = symbolic_factorize(a, ordering="nd")
+        flops, calls, prints = [], [], []
+        for backend in BACKENDS:
+            solver = _run_backend(a, sym, backend)
+            flops.append(float(solver.stats.total_flops))
+            calls.append(len(solver.factor.records))
+            prints.append(factor_fingerprint(solver.factor))
+        # bitwise: the flop model is pattern-only, the panels must not
+        # depend on who walked the tree
+        assert flops[0] == flops[1] == flops[2]
+        assert calls[0] == calls[1] == calls[2]
+        assert prints[0] == prints[1] == prints[2]
+
+    @settings(max_examples=10, deadline=None)
+    @given(spd_problem())
+    def test_p1_makespans_agree_to_rounding_across_backends(self, a):
+        # under host-only P1 every backend runs the same work on the same
+        # engine; only summation order differs, so makespans agree to
+        # float rounding.  (Offloading policies genuinely change the
+        # schedule across backends, so no such property holds for them.)
+        sym = symbolic_factorize(a, ordering="nd")
+        spans = [
+            float(_run_backend(a, sym, b, "P1").stats.simulated_seconds)
+            for b in BACKENDS
+        ]
+        ref = max(spans)
+        assert ref > 0
+        assert all(abs(s - ref) <= 1e-6 * ref for s in spans)
+
+
+class TestRunToRunStability:
+    @settings(max_examples=10, deadline=None)
+    @given(spd_problem(), st.sampled_from(BACKENDS))
+    def test_every_counter_bit_stable(self, a, backend):
+        sym = symbolic_factorize(a, ordering="nd")
+
+        def snapshot():
+            solver = _run_backend(a, sym, backend)
+            node = solver.factor.node
+            counters = {
+                "simulated_seconds": float(solver.stats.simulated_seconds),
+                "total_flops": float(solver.stats.total_flops),
+                "fu_calls": len(solver.factor.records),
+                "fingerprint": factor_fingerprint(solver.factor),
+            }
+            for g in node.gpus:
+                counters[f"gpu{g.gpu_id}.high_water"] = int(
+                    g.device_pool.stats.high_water
+                )
+            return counters
+
+        assert snapshot() == snapshot()
+
+    @settings(max_examples=10, deadline=None)
+    @given(spd_problem())
+    def test_serial_driver_matches_serial_backend_bitwise(self, a):
+        # factorize_numeric on a fresh node IS the serial backend; the
+        # factorize scenarios rely on this equivalence
+        sym = symbolic_factorize(a, ordering="nd")
+        solver = _run_backend(a, sym, "serial")
+        from repro.policies import make_policy
+
+        nf = factorize_numeric(
+            a, sym, make_policy("P1"),
+            node=SimulatedNode(n_cpus=1, n_gpus=1),
+        )
+        assert factor_fingerprint(nf) == factor_fingerprint(solver.factor)
+        assert float(nf.makespan) == float(solver.stats.simulated_seconds)
