@@ -276,6 +276,53 @@ for _short in sorted(_REPLAY_POLICIES):
 
 
 # ----------------------------------------------------------------------
+# cluster fan-both replay scaling
+# ----------------------------------------------------------------------
+_CLUSTER_NODE_COUNTS = (1, 2, 4)
+_CLUSTER_POLICY = "P4"
+
+
+def _cluster_replay_run(suite: SuiteCache) -> Measurement:
+    from repro.cluster.runtime import cluster_replay
+    from repro.cluster.topology import ClusterSpec
+
+    sf = suite.workload(PAPER_WORKLOAD)
+    policy = suite.policy(_CLUSTER_POLICY)
+    det: dict[str, object] = {"n_supernodes": int(sf.n_supernodes)}
+    makespans: dict[int, float] = {}
+    for n in _CLUSTER_NODE_COUNTS:
+        spec = ClusterSpec(n_ranks=n, gpus_per_rank=1, model=suite.model)
+        res = cluster_replay(sf, policy, spec)
+        makespans[n] = float(res.makespan)
+        det[f"n{n}.makespan_seconds"] = float(res.makespan)
+        det[f"n{n}.comm_bytes"] = float(res.comm_bytes)
+        det[f"n{n}.comm_messages"] = int(res.comm_messages)
+        det[f"n{n}.comm_seconds"] = float(res.comm_seconds)
+        det[f"n{n}.tasks"] = len(res.schedule)
+    # the scaling promise the PR pins: four nodes beat one on the
+    # paper-scale tree despite paying for every cross-rank update
+    det["n4_faster_than_n1"] = bool(makespans[4] < makespans[1])
+    det["speedup_n4_vs_n1"] = float(
+        makespans[1] / makespans[4] if makespans[4] > 0 else 0.0
+    )
+    return Measurement(det)
+
+
+_register(Scenario(
+    name="cluster-replay",
+    description=(
+        f"fan-both cluster replay of {PAPER_WORKLOAD} under {_CLUSTER_POLICY} "
+        f"at {', '.join(str(n) for n in _CLUSTER_NODE_COUNTS)} nodes "
+        "(1 GPU each); pins makespans, communication volume and the "
+        "4-node-beats-1-node scaling promise"
+    ),
+    run=_cluster_replay_run,
+    prepare=lambda suite: _cluster_replay_run(suite) and None,
+    tags=("deterministic", "replay", "cluster", "paper"),
+))
+
+
+# ----------------------------------------------------------------------
 # SolverService cache throughput
 # ----------------------------------------------------------------------
 _SERVICE_PATTERNS = 3

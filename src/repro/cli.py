@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     python -m repro train --samples 400 --out clf.json
     python -m repro serve-bench --requests 60  # solver-service benchmark
     python -m repro runtime-bench --cpus 4     # static vs dynamic runtime
+    python -m repro cluster-bench --nodes 1,2,4  # fan-both cluster scaling
     python -m repro verify --pairs default     # differential verification
     python -m repro verify --fuzz --budget-seconds 120
     python -m repro lint                       # domain static analysis
@@ -381,6 +382,60 @@ def cmd_runtime_bench(args) -> int:
     return 0
 
 
+def cmd_cluster_bench(args) -> int:
+    from repro.analysis import format_table
+    from repro.cluster import ClusterSpec, InterconnectParams, cluster_replay
+    from repro.gpu.perfmodel import tesla_t10_model
+    from repro.workload import paper_workload
+
+    try:
+        sf = paper_workload(args.workload)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    model = tesla_t10_model()
+    policy = _runtime_policy(args.policy, model)
+    net = InterconnectParams(latency=args.latency, bandwidth=args.bandwidth)
+
+    rows = []
+    base = None
+    last = None
+    for n in args.nodes:
+        spec = ClusterSpec(
+            n_ranks=n, gpus_per_rank=args.gpus, model=model, interconnect=net,
+        )
+        res = cluster_replay(sf, policy, spec)
+        last = res
+        if base is None:
+            base = res.makespan
+        rows.append([
+            n,
+            f"{res.makespan:.4f}",
+            f"{base / res.makespan:.2f}" if res.makespan > 0 else "-",
+            f"{100 * res.utilization():.1f}%",
+            res.comm_messages,
+            f"{res.comm_bytes / 1e6:.1f}",
+            f"{res.comm_seconds:.4f}",
+        ])
+    print(format_table(
+        ["nodes", "makespan s", "speedup", "util", "msgs", "comm MB",
+         "comm s"],
+        rows,
+        title=(
+            f"cluster-bench: {args.workload}, policy {args.policy}, "
+            f"{args.gpus} GPU/node, "
+            f"{net.bandwidth / 1e9:.1f} GB/s + {net.latency * 1e6:.0f} us"
+        ),
+    ))
+    if args.trace and last is not None:
+        import json
+
+        with open(args.trace, "w") as fh:
+            json.dump(last.chrome_trace(), fh)
+        print(f"chrome trace of the last run written to {args.trace}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Domain-aware static analysis (see ``repro.lint``)."""
     from pathlib import Path
@@ -691,6 +746,27 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--trace", default="",
                     help="write the last dynamic run's Chrome trace here")
 
+    cb = sub.add_parser(
+        "cluster-bench",
+        help="fan-both cluster replay scaling over a node-count sweep",
+    )
+    cb.add_argument("--workload", default="audikw_1",
+                    help="paper workload name (see repro.workload)")
+    cb.add_argument("--nodes", default=[1, 2, 4],
+                    type=lambda s: [int(t) for t in s.split(",") if t],
+                    help="comma-separated node counts to sweep")
+    cb.add_argument("--policy", default="P4",
+                    help="P1..P4, P4c, baseline, ideal")
+    cb.add_argument("--gpus", type=int, default=1, choices=(0, 1),
+                    help="GPUs per node (the paper's one-thread-per-GPU "
+                         "design point)")
+    cb.add_argument("--latency", type=float, default=5e-6,
+                    help="interconnect latency in seconds")
+    cb.add_argument("--bandwidth", type=float, default=1.5e9,
+                    help="interconnect bandwidth in bytes/second")
+    cb.add_argument("--trace", default="",
+                    help="write the last run's merged Chrome trace here")
+
     li = sub.add_parser(
         "lint",
         help="domain-aware static analysis (lock order, determinism, "
@@ -789,6 +865,7 @@ _COMMANDS = {
     "train": cmd_train,
     "serve-bench": cmd_serve_bench,
     "runtime-bench": cmd_runtime_bench,
+    "cluster-bench": cmd_cluster_bench,
     "lint": cmd_lint,
     "verify": cmd_verify,
     "bench": cmd_bench,

@@ -5,38 +5,68 @@ feasibility of using the distributed-memory parallel version of WSMP to
 develop a cluster version of the solver."  This subpackage builds that
 system on top of the same simulation substrate:
 
-* ranks — one MPI-style rank per cluster node, each a host CPU core
-  with (optionally) one GPU, matching the paper's one-thread-per-GPU
-  design point;
+* **topology** (:mod:`topology`) — a :class:`ClusterSpec` of homogeneous
+  ranks, each one MPI-style node: a host CPU core with (optionally) one
+  GPU, matching the paper's one-thread-per-GPU design point, owning its
+  own engines and allocators;
 * a **subtree-to-rank mapping** (:mod:`mapping`) in the spirit of the
   classical subtree-to-subcube assignment: the supernodal tree is split
   by subtree flops so every rank owns a balanced set of subtrees, and
   the top separators run on the rank that owns the heaviest branch;
-* an **interconnect model** (:mod:`simulate`): when a child supernode
-  and its parent live on different ranks, the child's update matrix
-  crosses the network (latency + bytes/bandwidth on the sender's NIC
-  engine), serialized with every other message of that rank;
-* the same per-call placement policies (P1..P4, hybrids) inside each
-  rank.
+* an **interconnect model** (:mod:`interconnect`): when a child
+  supernode and its parent live on different ranks, the child's update
+  matrix crosses the network (latency + bytes/bandwidth, serialized on
+  the sender's NIC), delivered with a send-order seq tiebreak for
+  determinism;
+* a **cluster event loop** (:mod:`runtime`) — the fan-both execution:
+  per-node ready deques driven by one merged
+  :class:`~repro.runtime.events.EventQueue`; ancestors above the
+  separator layer receive asynchronous update contributions at message
+  arrival.  :func:`cluster_factorize` produces factors bit-identical to
+  ``backend="serial"`` at any node count;
+* a **sharded serving fleet** (:mod:`fleet`) — pattern-affinity request
+  routing across node-local :class:`~repro.service.SolverService`
+  shards with replica failover under injected node faults;
+* the legacy **pricing path** (:mod:`simulate`): one task graph for the
+  whole cluster on the shared engine set — same quantities, no event
+  loop, kept as an independent cross-check.
 
 ``simulate_cluster`` prices a whole factorization on a
 :class:`ClusterSpec` and reports makespan, per-rank utilization, and
-communication volume — the quantities a cluster-scaling study needs.
+communication volume — the quantities a cluster-scaling study needs;
+``cluster_replay``/``cluster_factorize`` run the event-driven fleet.
 """
 
-from repro.cluster.mapping import map_subtrees_to_ranks, subtree_flops
-from repro.cluster.simulate import (
-    ClusterResult,
-    ClusterSpec,
-    InterconnectParams,
-    simulate_cluster,
+from repro.cluster.fleet import ShardedSolverService, ShardRouter
+from repro.cluster.interconnect import (
+    Interconnect,
+    Message,
+    update_message_bytes,
 )
+from repro.cluster.mapping import map_subtrees_to_ranks, subtree_flops
+from repro.cluster.runtime import (
+    ClusterRunResult,
+    ClusterRuntime,
+    cluster_factorize,
+    cluster_replay,
+)
+from repro.cluster.simulate import ClusterResult, simulate_cluster
+from repro.cluster.topology import ClusterSpec, InterconnectParams
 
 __all__ = [
     "ClusterSpec",
     "InterconnectParams",
     "ClusterResult",
+    "ClusterRunResult",
+    "ClusterRuntime",
+    "Interconnect",
+    "Message",
+    "ShardRouter",
+    "ShardedSolverService",
+    "cluster_factorize",
+    "cluster_replay",
     "simulate_cluster",
     "map_subtrees_to_ranks",
     "subtree_flops",
+    "update_message_bytes",
 ]

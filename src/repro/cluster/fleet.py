@@ -1,0 +1,254 @@
+"""Sharded serving fleet: pattern-affinity routing with replica failover.
+
+The single-node :class:`~repro.service.SolverService` becomes a fleet:
+``n_nodes`` node-local shards, each with its own workers and its own
+:class:`~repro.service.cache.FactorizationCache`.  Requests route by the
+*pattern* component of the matrix key — every matrix with the same
+sparsity structure lands on the same shard, so its symbolic/numeric
+cache entries concentrate where they will be reused (cache-shard
+affinity).
+
+Routing is rendezvous (highest-random-weight) hashing over
+``blake2b(pattern | node)``: deterministic, uniform, and minimally
+disruptive — when a node leaves the healthy set, only the keys it owned
+move, each to its next-ranked replica.  Node availability reuses
+:class:`repro.runtime.faults.FaultInjector` with *node ids as sids*: a
+node in ``fail_sids`` is down from the start; rate-driven faults take
+nodes down deterministically per probe.  A request whose affinity
+primary is unavailable fails over to the next replica and its outcome
+is flagged ``degraded`` — the factor is cached on the replica shard,
+never under the failed primary's key space.
+
+Fleet-level :class:`~repro.service.metrics.ServiceMetrics` aggregate
+per-node request counts and busy seconds, routing decisions, failovers,
+and modeled interconnect bytes (request/response shipping priced by
+:class:`~repro.cluster.topology.InterconnectParams`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.cluster.topology import InterconnectParams
+from repro.service.keys import matrix_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import SolveOutcome, SolverService
+
+__all__ = ["ShardRouter", "ShardedSolverService"]
+
+
+class ShardRouter:
+    """Deterministic pattern-affinity router over a fixed fleet.
+
+    Rendezvous hashing: each ``(key, node)`` pair gets a 64-bit score
+    from BLAKE2b; a key's nodes are ranked by descending score.  The
+    healthy set is the only mutable state, guarded by a small lock that
+    is never held across any solve or factorization work.
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self._down: set[int] = set()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def score(key: str, node: int) -> int:
+        digest = hashlib.blake2b(
+            f"{key}|node{node}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def ranking(self, key: str) -> list[int]:
+        """All nodes, health-blind, by descending rendezvous score."""
+        return sorted(
+            range(self.n_nodes),
+            key=lambda node: (-self.score(key, node), node),
+        )
+
+    def primary(self, key: str) -> int:
+        """The node that owns ``key`` when the whole fleet is healthy."""
+        return self.ranking(key)[0]
+
+    def replicas(self, key: str) -> list[int]:
+        """Healthy nodes in failover order for ``key``."""
+        with self._lock:
+            down = set(self._down)
+        return [node for node in self.ranking(key) if node not in down]
+
+    def route(self, key: str) -> int:
+        """The healthy node serving ``key``; raises when none remain."""
+        healthy = self.replicas(key)
+        if not healthy:
+            raise RuntimeError("no healthy nodes left in the fleet")
+        return healthy[0]
+
+    def mark_down(self, node: int) -> None:
+        with self._lock:
+            self._down.add(node)
+
+    def mark_up(self, node: int) -> None:
+        with self._lock:
+            self._down.discard(node)
+
+    def healthy_nodes(self) -> list[int]:
+        with self._lock:
+            down = set(self._down)
+        return [node for node in range(self.n_nodes) if node not in down]
+
+
+class ShardedSolverService:
+    """A fleet of node-local :class:`SolverService` shards.
+
+    Parameters
+    ----------
+    n_nodes : int
+        Fleet size (one shard, one cache, per node).
+    policy, backend, ordering, cluster :
+        Forwarded to every shard (``cluster`` being the
+        :class:`~repro.cluster.topology.ClusterSpec` for
+        ``backend="cluster"`` shards).
+    n_workers_per_node, max_cache_bytes :
+        Per-shard worker threads and cache budget.
+    node_faults : FaultInjector, optional
+        Node availability source; node ids play the role of sids.  Each
+        routing probe of a node consumes one attempt, so rate-driven
+        faults are deterministic in request order.
+    interconnect : InterconnectParams, optional
+        Prices the request/response bytes a routed solve ships.
+    metrics : ServiceMetrics, optional
+        Fleet-level metrics sink (per-node counters, failovers, bytes).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        *,
+        policy="P1",
+        backend: str = "serial",
+        ordering: str = "amd",
+        n_workers_per_node: int = 1,
+        max_cache_bytes: int = 64 << 20,
+        node_faults=None,
+        interconnect: InterconnectParams | None = None,
+        metrics: ServiceMetrics | None = None,
+        cluster=None,
+    ):
+        self.router = ShardRouter(n_nodes)
+        self.node_faults = node_faults
+        self.interconnect = (
+            interconnect if interconnect is not None else InterconnectParams()
+        )
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.shards = [
+            SolverService(
+                n_workers=n_workers_per_node,
+                policy=policy,
+                backend=backend,
+                ordering=ordering,
+                max_cache_bytes=max_cache_bytes,
+                cluster=cluster,
+            )
+            for _ in range(n_nodes)
+        ]
+        self._probe_lock = threading.Lock()
+        self._probes = [0] * n_nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def primary_for(self, a) -> int:
+        """The shard that owns ``a``'s pattern when fully healthy."""
+        key, _ = matrix_key(a)
+        return self.router.primary(key.pattern)
+
+    def _node_available(self, node: int) -> bool:
+        """Probe one node's health; each probe consumes one fault attempt
+        so rate-driven injectors stay deterministic in request order."""
+        if self.node_faults is None:
+            return True
+        with self._probe_lock:
+            attempt = self._probes[node]
+            self._probes[node] += 1
+        return not self.node_faults.kernel_fails(node, attempt)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def solve(self, a, b, **kwargs) -> SolveOutcome:
+        """Route ``A x = b`` to its affinity shard, failing over past
+        unavailable nodes; a failed-over outcome is flagged degraded."""
+        key, canonical = matrix_key(a)
+        pattern = key.pattern
+        ranking = self.router.ranking(pattern)
+        primary = ranking[0]
+        self.metrics.incr("requests")
+        for node in ranking:
+            if node not in self.router.healthy_nodes():
+                continue
+            if not self._node_available(node):
+                self.router.mark_down(node)
+                self.metrics.incr("nodes_marked_down")
+                continue
+            outcome = self.shards[node].solve(a, b, **kwargs)
+            if node != primary:
+                outcome.degraded = True
+                self.metrics.incr("failovers")
+            self.metrics.incr("routed")
+            self.metrics.incr(f"node{node}.requests")
+            self._account_transfer(node, canonical, b, outcome)
+            self._refresh_busy(node)
+            return outcome
+        raise RuntimeError("no healthy nodes left in the fleet")
+
+    def _account_transfer(self, node: int, canonical, b, outcome) -> None:
+        """Modeled interconnect cost of shipping the request and reply."""
+        request_bytes = (
+            canonical.data.nbytes
+            + canonical.indices.nbytes
+            + canonical.indptr.nbytes
+            + b.nbytes
+        )
+        reply_bytes = outcome.x.nbytes
+        nbytes = int(request_bytes + reply_bytes)
+        self.metrics.incr("interconnect_bytes", nbytes)
+        self.metrics.incr(f"node{node}.interconnect_bytes", nbytes)
+        self.metrics.observe("interconnect", self.interconnect.time(nbytes))
+
+    def _refresh_busy(self, node: int) -> None:
+        """Per-node busy seconds: total worker time across pipeline
+        stages of that shard, exported as a fleet gauge."""
+        busy = 0.0
+        for stage in ("analyze", "factorize", "solve"):
+            hist = self.shards[node].metrics.histogram(stage)
+            if hist is not None:
+                busy += hist.total
+        self.metrics.gauge(f"node{node}_busy_seconds", busy)
+
+    # ------------------------------------------------------------------
+    # lifecycle / reporting
+    # ------------------------------------------------------------------
+    def shutdown(self, *, wait: bool = True) -> None:
+        for shard in self.shards:
+            shard.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardedSolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def report(self) -> dict:
+        """Fleet metrics plus every shard's own report."""
+        out = {
+            "fleet": self.metrics.report(),
+            "healthy_nodes": self.router.healthy_nodes(),
+            "nodes": [shard.report() for shard in self.shards],
+        }
+        return out

@@ -18,48 +18,21 @@ rank is one CPU engine plus at most one GPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.gpu.clock import EngineTimeline, TaskGraph, schedule_graph
 from repro.gpu.device import SimulatedGpu
-from repro.gpu.perfmodel import PerfModel, tesla_t10_model
 from repro.multifrontal.frontal import assembly_bytes
 from repro.cluster.mapping import map_subtrees_to_ranks
+from repro.cluster.topology import ClusterSpec, InterconnectParams
 from repro.policies.base import Policy, PolicyP1, Worker
 from repro.gpu.allocator import DeviceMemoryError
 from repro.symbolic.etree import NO_PARENT
 from repro.symbolic.symbolic import SymbolicFactor
 
 __all__ = ["InterconnectParams", "ClusterSpec", "ClusterResult", "simulate_cluster"]
-
-
-@dataclass(frozen=True)
-class InterconnectParams:
-    """Network model (defaults ~ DDR InfiniBand of the paper's era)."""
-
-    latency: float = 5e-6          # per-message seconds
-    bandwidth: float = 1.5e9       # bytes/s per NIC
-
-    def time(self, nbytes: float) -> float:
-        return self.latency + nbytes / self.bandwidth
-
-
-@dataclass
-class ClusterSpec:
-    """A homogeneous cluster of ranks."""
-
-    n_ranks: int = 2
-    gpus_per_rank: int = 1         # 0 or 1 (one host thread per GPU)
-    model: PerfModel = field(default_factory=tesla_t10_model)
-    interconnect: InterconnectParams = field(default_factory=InterconnectParams)
-
-    def __post_init__(self):
-        if self.n_ranks < 1:
-            raise ValueError("need at least one rank")
-        if self.gpus_per_rank not in (0, 1):
-            raise ValueError("a rank drives at most one GPU (paper design point)")
 
 
 @dataclass

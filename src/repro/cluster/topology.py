@@ -1,0 +1,66 @@
+"""Cluster topology: node shape, network parameters, per-node resources.
+
+A fleet is ``n_ranks`` homogeneous nodes, each one host thread plus at
+most one GPU (the paper's one-thread-per-GPU design point), joined by a
+full-crossbar interconnect priced per message as
+``latency + bytes / bandwidth`` and serialized on the sender's NIC.
+
+:class:`ClusterSpec` is the single description every cluster entry
+point takes — the pricing-only :func:`repro.cluster.simulate.simulate_cluster`,
+the event-driven :class:`repro.cluster.runtime.ClusterRuntime`, and the
+``backend="cluster"`` mode of
+:class:`repro.multifrontal.SparseCholeskySolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import SimulatedNode
+from repro.gpu.perfmodel import PerfModel, tesla_t10_model
+from repro.policies.base import Worker
+
+__all__ = ["InterconnectParams", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class InterconnectParams:
+    """Network model (defaults ~ DDR InfiniBand of the paper's era)."""
+
+    latency: float = 5e-6          # per-message seconds
+    bandwidth: float = 1.5e9       # bytes/s per NIC
+
+    def time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster of ranks."""
+
+    n_ranks: int = 2
+    gpus_per_rank: int = 1         # 0 or 1 (one host thread per GPU)
+    model: PerfModel = field(default_factory=tesla_t10_model)
+    interconnect: InterconnectParams = field(default_factory=InterconnectParams)
+
+    def __post_init__(self):
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.gpus_per_rank not in (0, 1):
+            raise ValueError("a rank drives at most one GPU (paper design point)")
+
+    def build_nodes(self) -> list[SimulatedNode]:
+        """One :class:`SimulatedNode` per rank — each owns its own
+        engines, allocators, and (by extension) virtual timeline."""
+        return [
+            SimulatedNode(
+                model=self.model, n_cpus=1, n_gpus=self.gpus_per_rank
+            )
+            for _ in range(self.n_ranks)
+        ]
+
+    def node_worker(self, rank: int, node: SimulatedNode) -> Worker:
+        """Rank ``rank``'s worker lane, with a fleet-namespaced engine
+        name (``node{rank}.cpu``) so merged traces lane-sort node-major."""
+        gpu = node.gpus[0] if node.gpus else None
+        return Worker(cpu_engine=f"node{rank}.cpu", gpu=gpu)

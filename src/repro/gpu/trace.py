@@ -12,6 +12,7 @@ when debugging why a policy's critical path is what it is.
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable
 
 from repro.gpu.clock import SimTask
@@ -20,6 +21,11 @@ __all__ = ["tasks_to_chrome_trace", "write_chrome_trace"]
 
 #: stable thread ids per engine kind so related engines group together
 _ENGINE_ORDER = ("cpu", "gpu", "nic")
+
+#: cluster engines are namespaced ``node{i}.cpu`` / ``rank{i}.nic``; the
+#: merged multi-node trace groups lanes node-major (all of node0, then
+#: all of node1, ...), kind-ordered within each node
+_NODE_PREFIX = re.compile(r"^(?:node|rank)(\d+)$")
 
 _CATEGORY_COLOR = {
     "potrf": "thread_state_running",
@@ -46,6 +52,20 @@ def _engine_rank(engine: str) -> int:
     return len(_ENGINE_ORDER)
 
 
+def _engine_sort_key(engine: str) -> tuple[int, int, str]:
+    """Row-ordering key: ``(node index, kind rank, name)``.
+
+    Engines with a ``node{i}``/``rank{i}`` first component group
+    node-major; un-namespaced engines keep node index -1 so single-node
+    traces sort exactly as before.
+    """
+    head, _, rest = engine.partition(".")
+    m = _NODE_PREFIX.match(head)
+    if m:
+        return (int(m.group(1)), _engine_rank(rest or head), engine)
+    return (-1, _engine_rank(engine), engine)
+
+
 def tasks_to_chrome_trace(
     tasks: Iterable[SimTask], *, time_unit: float = 1e6
 ) -> dict:
@@ -53,9 +73,11 @@ def tasks_to_chrome_trace(
 
     ``time_unit`` scales simulated seconds into trace microseconds
     (default: 1 simulated second = 1 trace second).  Engine rows are
-    grouped by kind in :data:`_ENGINE_ORDER` (all CPUs, then GPUs, then
-    NICs), alphabetically within a kind, regardless of which engine's
-    task happens to appear first in the stream.
+    grouped node-major when engines carry a ``node{i}.``/``rank{i}.``
+    namespace (all of node0's lanes, then node1's, ...), then by kind in
+    :data:`_ENGINE_ORDER` (all CPUs, then GPUs, then NICs),
+    alphabetically within a kind, regardless of which engine's task
+    happens to appear first in the stream.
     """
     tasks = list(tasks)
     for t in tasks:
@@ -64,8 +86,7 @@ def tasks_to_chrome_trace(
     engines = {
         name: tid
         for tid, name in enumerate(
-            sorted({t.engine for t in tasks},
-                   key=lambda n: (_engine_rank(n), n))
+            sorted({t.engine for t in tasks}, key=_engine_sort_key)
         )
     }
     events = []

@@ -17,12 +17,17 @@ knowable* names:
   matched on the first dot-component).  An unknown kind silently sorts
   last in the exported trace and breaks the lane layout.  Dynamic
   *suffixes* are legitimate (``f"cpu.worker{i}"``) as long as the
-  static prefix pins the kind.
+  static prefix pins the kind.  Cluster engines may carry a
+  ``node{i}.``/``rank{i}.`` namespace in front of the kind
+  (``"node0.cpu"``, ``f"rank{r}.nic"``) — the exporter groups those
+  node-major — so the kind check moves to the component after the
+  namespace.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.lint.core import (
     Checker,
@@ -37,6 +42,11 @@ __all__ = ["MetricsChecker"]
 
 _METRIC_METHODS = {"incr", "observe", "gauge"}
 _SPAN_METHODS = {"span"}
+
+#: fleet namespaces the trace exporter groups node-major; a first
+#: dot-component matching one defers the kind check to the next one
+_NAMESPACES = ("node", "rank")
+_NS_COMPONENT = re.compile(r"^(?:node|rank)\d*$")
 
 
 def _is_literal_str(node: ast.expr) -> bool:
@@ -155,7 +165,8 @@ class MetricsChecker(Checker):
             "A span() engine name whose first dot-component is not a "
             "known engine kind sorts last in the exported trace.",
             hint="prefix the engine name with cpu/gpu/nic, e.g. "
-            "f\"cpu.worker{i}\"",
+            "f\"cpu.worker{i}\" (a node{i}./rank{i}. fleet namespace "
+            "may come first)",
         ),
     )
 
@@ -230,17 +241,31 @@ class MetricsChecker(Checker):
             prefix = table.prefixes.get(engine.id)
         if prefix is None:
             return  # fully dynamic engine names are out of static reach
+        shown = prefix
         first = prefix.split(".", 1)[0]
+        if _NS_COMPONENT.match(first):
+            # namespaced cluster engine: strip node{i}./rank{i}. and
+            # check the kind on the component that follows
+            prefix = prefix.partition(".")[2]
+            if not prefix:
+                # the kind is interpolated (f"node{r}.cpu" statically
+                # yields only "node") — out of static reach, do not guess
+                return
+            first = prefix.split(".", 1)[0]
         if first in kinds:
             return
-        if "." not in prefix and any(k.startswith(first) for k in kinds):
+        if "." not in prefix and any(
+            k.startswith(first) for k in (*kinds, *_NAMESPACES)
+        ):
             # the static prefix ends mid-component ("c" from f"c{x}");
-            # it could still complete to a known kind — do not guess
+            # it could still complete to a known kind or namespace — do
+            # not guess
             return
         findings.append(
             self.finding(
                 "RPL041", sf, call,
-                f"engine name starting {prefix!r} does not begin with a "
-                f"known engine kind {'/'.join(kinds)}",
+                f"engine name starting {shown!r} does not begin with a "
+                f"known engine kind {'/'.join(kinds)} (optionally "
+                "namespaced node{i}./rank{i}.)",
             )
         )

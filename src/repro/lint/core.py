@@ -173,6 +173,7 @@ class LintConfig:
         "repro.runtime",
         "repro.gpu",
         "repro.parallel",
+        "repro.cluster",
     )
     #: modules that promise bit-for-bit reproducible behaviour
     deterministic_modules: tuple[str, ...] = (
@@ -181,6 +182,7 @@ class LintConfig:
         "repro.runtime.faults",
         "repro.verify",
         "repro.bench",
+        "repro.cluster",
     )
     #: modules whose functions feed cache keys (plus any ``*_key`` fn)
     key_modules: tuple[str, ...] = ("repro.service.keys",)

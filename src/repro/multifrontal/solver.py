@@ -24,7 +24,12 @@ Two orthogonal execution knobs:
   schedulers (:mod:`repro.parallel` / :mod:`repro.runtime`) over a
   worker pool built from this solver's node; ``backend="dynamic"``
   additionally accepts ``memory_budget`` (admission control) and
-  ``faults`` (a :class:`repro.runtime.FaultInjector`).
+  ``faults`` (a :class:`repro.runtime.FaultInjector`);
+* ``backend="cluster"`` factors through the simulated multi-node fleet
+  of :mod:`repro.cluster` (shape via ``cluster``, a
+  :class:`repro.cluster.ClusterSpec`; defaults to two ranks matching
+  this solver's node shape).  Every backend produces bit-identical
+  factors.
 """
 
 from __future__ import annotations
@@ -83,14 +88,16 @@ class SparseCholeskySolver:
         backend: str = "serial",
         memory_budget: int | None = None,
         faults=None,
+        cluster=None,
     ):
         if a.n_rows != a.n_cols:
             raise ValueError("matrix must be square")
         if schedule not in ("post", "liu"):
             raise ValueError(f"unknown schedule {schedule!r} (post | liu)")
-        if backend not in ("serial", "static", "dynamic"):
+        if backend not in ("serial", "static", "dynamic", "cluster"):
             raise ValueError(
-                f"unknown backend {backend!r} (serial | static | dynamic)"
+                f"unknown backend {backend!r} "
+                "(serial | static | dynamic | cluster)"
             )
         if schedule == "liu" and backend != "serial":
             raise ValueError(
@@ -99,6 +106,8 @@ class SparseCholeskySolver:
             )
         if (memory_budget is not None or faults is not None) and backend != "dynamic":
             raise ValueError("memory_budget/faults require backend='dynamic'")
+        if cluster is not None and backend != "cluster":
+            raise ValueError("cluster spec requires backend='cluster'")
         self.a = a if a.is_structurally_symmetric() else a.symmetrize_from_lower()
         self.ordering = ordering
         self.node = node if node is not None else SimulatedNode(n_cpus=1, n_gpus=1)
@@ -107,6 +116,7 @@ class SparseCholeskySolver:
         self.backend = backend
         self.memory_budget = memory_budget
         self.faults = faults
+        self.cluster = cluster
         self._policy = self._build_policy(policy, classifier)
         self.symbolic: SymbolicFactor | None = None
         self.factor: NumericFactor | None = None
@@ -151,6 +161,7 @@ class SparseCholeskySolver:
         backend: str = "serial",
         memory_budget: int | None = None,
         faults=None,
+        cluster=None,
     ) -> "SparseCholeskySolver":
         """Build a solver around an existing symbolic factorization.
 
@@ -172,6 +183,7 @@ class SparseCholeskySolver:
             backend=backend,
             memory_budget=memory_budget,
             faults=faults,
+            cluster=cluster,
         )
         if symbolic.n != self.a.n_rows:
             raise ValueError(
@@ -222,6 +234,22 @@ class SparseCholeskySolver:
                 self.a, self.symbolic, self._policy, node=self.node,
                 spost=spost,
             )
+        elif self.backend == "cluster":
+            from repro.cluster.runtime import cluster_factorize
+            from repro.cluster.topology import ClusterSpec
+
+            spec = self.cluster
+            if spec is None:
+                spec = ClusterSpec(
+                    n_ranks=2,
+                    gpus_per_rank=1 if self.node.gpus else 0,
+                    model=self.node.model,
+                )
+            result = cluster_factorize(
+                self.a, self.symbolic, self._policy, spec
+            )
+            self.parallel = result
+            self.factor = result.factor
         else:
             from repro.parallel.scheduler import parallel_factorize
 

@@ -32,7 +32,13 @@ from repro.parallel.workers import WorkerPool
 from repro.policies.base import Policy, PolicyP1, Worker, estimate_policy_time
 from repro.symbolic.symbolic import SymbolicFactor, factor_update_flops
 
-__all__ = ["ScheduledTask", "ParallelResult", "list_schedule", "parallel_factorize"]
+__all__ = [
+    "ScheduledTask",
+    "ParallelResult",
+    "list_schedule",
+    "parallel_factorize",
+    "postorder_numeric_factor",
+]
 
 
 @dataclass(frozen=True)
@@ -253,10 +259,37 @@ def parallel_factorize(
         )
     else:
         raise ValueError(f"unknown backend {backend!r} (static | dynamic)")
-    by_sid = {t.sid: t for t in result.schedule}
 
     gpu_worker = pool.gpu_worker()
     numeric_worker = gpu_worker if gpu_worker is not None else pool.workers[0]
+    result.factor = postorder_numeric_factor(
+        a, sf, policy, numeric_worker, pool.node,
+        {t.sid: t for t in result.schedule},
+        makespan=result.makespan, degraded_sids=degraded_sids,
+    )
+    return result
+
+
+def postorder_numeric_factor(
+    a: CSCMatrix,
+    sf: SymbolicFactor,
+    policy: Policy,
+    numeric_worker: Worker,
+    node: SimulatedNode,
+    by_sid: dict[int, ScheduledTask],
+    *,
+    makespan: float,
+    degraded_sids: frozenset = frozenset(),
+) -> NumericFactor:
+    """Numeric factorization in canonical postorder against one worker.
+
+    This is what makes every backend — serial, static, dynamic, and the
+    cluster loop — bit-identical: whatever schedule produced the times
+    in ``by_sid``, the panels are computed in ``sf.spost`` order with
+    the policy resolved once per ``(m, k)`` against ``numeric_worker``.
+    Tasks in ``degraded_sids`` run the host P1 path, exactly as their
+    simulated execution did.
+    """
     fallback = PolicyP1()
     a_perm = a.permute_symmetric(sf.perm)
     a_lower = a_perm.lower_triangle()
@@ -293,12 +326,10 @@ def parallel_factorize(
                 components={}, flops=factor_update_flops(m, k),
             )
         )
-    factor = NumericFactor(
+    return NumericFactor(
         sf=sf,
         panels=[pnl for pnl in panels],  # type: ignore[misc]
         records=records,
-        makespan=result.makespan,
-        node=pool.node,
+        makespan=makespan,
+        node=node,
     )
-    result.factor = factor
-    return result

@@ -50,9 +50,125 @@ __all__ = [
     "RuntimeStats",
     "RuntimeResult",
     "DynamicRuntime",
+    "TaskPricer",
     "dynamic_schedule",
     "schedule_peak_update_bytes",
 ]
+
+
+class TaskPricer:
+    """Dispatch-time task pricing shared by the dynamic runtime and the
+    cluster event loop (:mod:`repro.cluster.runtime`).
+
+    Caches per-``(m, k, has_gpu)`` factor-update durations with the
+    policy resolved against a representative worker, assembly times,
+    P1 fallback times, upward-rank priorities, and the device
+    working-set demand of Section IV-B.  Policies discriminate only on
+    GPU presence, so one GPU exemplar and one CPU-only exemplar price
+    every worker of that shape.
+    """
+
+    def __init__(
+        self,
+        sf: SymbolicFactor,
+        policy: Policy,
+        model,
+        *,
+        gpu_worker=None,
+        cpu_worker=None,
+    ):
+        self.sf = sf
+        self.policy = policy
+        self.model = model
+        self._gpu_worker = gpu_worker
+        self._cpu_worker = cpu_worker
+        self._p1 = PolicyP1()
+        self._kids = sf.schildren()
+        # (m, k, has_gpu) -> (fu seconds, resolved policy name)
+        self._dur_cache: dict[tuple[int, int, bool], tuple[float, str]] = {}
+        # (m, k) -> P1 seconds, for dispatch-time fallbacks
+        self._p1_cache: dict[tuple[int, int], float] = {}
+        self._asm: np.ndarray | None = None
+
+    def representative(self, has_gpu: bool):
+        if has_gpu and self._gpu_worker is not None:
+            return self._gpu_worker
+        if self._cpu_worker is not None:
+            return self._cpu_worker
+        return self._gpu_worker
+
+    def assembly_times(self) -> np.ndarray:
+        """Per-supernode extend-add assembly seconds (host memory time)."""
+        if self._asm is None:
+            sf = self.sf
+            out = np.zeros(sf.n_supernodes)
+            for s in range(sf.n_supernodes):
+                out[s] = self.model.host_memory_time(
+                    assembly_bytes(
+                        sf.rows[s].size,
+                        [sf.rows[c].size - sf.width(c) for c in self._kids[s]],
+                    )
+                )
+            self._asm = out
+        return self._asm
+
+    def fu_time(self, s: int, has_gpu: bool) -> tuple[float, str]:
+        """Dispatch-time policy resolution + isolated F-U seconds."""
+        m = self.sf.update_size(s)
+        k = self.sf.width(s)
+        key = (m, k, has_gpu)
+        hit = self._dur_cache.get(key)
+        if hit is None:
+            worker = self.representative(has_gpu)
+            base = (
+                self.policy.resolve(m, k, worker)
+                if hasattr(self.policy, "resolve")
+                else self.policy
+            )
+            if base.needs_gpu and not has_gpu:
+                base = self._p1
+            hit = (estimate_policy_time(base, m, k, self.model), base.name)
+            self._dur_cache[key] = hit
+        return hit
+
+    def p1_time(self, s: int) -> float:
+        m = self.sf.update_size(s)
+        k = self.sf.width(s)
+        key = (m, k)
+        hit = self._p1_cache.get(key)
+        if hit is None:
+            hit = estimate_policy_time(self._p1, m, k, self.model)
+            self._p1_cache[key] = hit
+        return hit
+
+    def upward_ranks(self, has_gpu: bool) -> np.ndarray:
+        """Task priority: seconds from the task to the root, inclusive —
+        the upward rank the static list scheduler uses, priced on the
+        best (GPU if any) worker shape."""
+        sf = self.sf
+        asm = self.assembly_times()
+        dur = np.array(
+            [self.fu_time(s, has_gpu)[0] + asm[s]
+             for s in range(sf.n_supernodes)]
+        )
+        rank = dur.copy()
+        for s in sf.spost[::-1]:  # parents before children
+            parent = int(sf.sparent[s])
+            if parent >= 0:
+                rank[int(s)] = dur[int(s)] + rank[parent]
+        return rank
+
+    def device_demand(self, name: str, m: int, k: int) -> int:
+        """Device words a policy's working set needs, per the transfer
+        volumes of Section IV-B (Equation 2)."""
+        word = self.model.gpu_word
+        if name == "P2":
+            return (m * k + m * m) * word
+        if name.startswith("P3"):
+            return (k * k + m * k + m * m) * word
+        if name.startswith("P4"):
+            return (m + k) * (m + k) * word
+        return 0
 
 
 @dataclass
@@ -218,97 +334,34 @@ class DynamicRuntime:
 
         self._kids = sf.schildren()
         self._model = pool.node.model
-        self._p1 = PolicyP1()
-        # (m, k, has_gpu) -> (fu seconds, resolved policy name)
-        self._dur_cache: dict[tuple[int, int, bool], tuple[float, str]] = {}
-        # (m, k) -> P1 seconds, for dispatch-time fallbacks
-        self._p1_cache: dict[tuple[int, int], float] = {}
-        self._asm = self._assembly_times()
-        self._rank = self._upward_ranks()
-
-    # ------------------------------------------------------------------
-    # static pre-computation
-    # ------------------------------------------------------------------
-    def _assembly_times(self) -> np.ndarray:
-        sf = self.sf
-        out = np.zeros(sf.n_supernodes)
-        for s in range(sf.n_supernodes):
-            out[s] = self._model.host_memory_time(
-                assembly_bytes(
-                    sf.rows[s].size,
-                    [sf.rows[c].size - sf.width(c) for c in self._kids[s]],
-                )
-            )
-        return out
-
-    def _representative(self, has_gpu: bool):
-        if has_gpu:
-            return self.pool.gpu_worker()
-        for w in self.pool.workers:
+        cpu_rep = None
+        for w in pool.workers:
             if not w.has_gpu:
-                return w
-        return self.pool.workers[0]
+                cpu_rep = w
+                break
+        if cpu_rep is None:
+            cpu_rep = pool.workers[0]
+        self._pricer = TaskPricer(
+            sf, policy, self._model,
+            gpu_worker=pool.gpu_worker(), cpu_worker=cpu_rep,
+        )
+        self._asm = self._pricer.assembly_times()
+        self._rank = self._pricer.upward_ranks(pool.gpu_worker() is not None)
 
+    # ------------------------------------------------------------------
+    # static pre-computation (delegated to the shared TaskPricer)
+    # ------------------------------------------------------------------
     def _fu_time(self, s: int, has_gpu: bool) -> tuple[float, str]:
-        """Dispatch-time policy resolution + isolated F-U seconds."""
-        m = self.sf.update_size(s)
-        k = self.sf.width(s)
-        key = (m, k, has_gpu)
-        hit = self._dur_cache.get(key)
-        if hit is None:
-            worker = self._representative(has_gpu)
-            base = (
-                self.policy.resolve(m, k, worker)
-                if hasattr(self.policy, "resolve")
-                else self.policy
-            )
-            if base.needs_gpu and not has_gpu:
-                base = self._p1
-            hit = (estimate_policy_time(base, m, k, self._model), base.name)
-            self._dur_cache[key] = hit
-        return hit
+        return self._pricer.fu_time(s, has_gpu)
 
     def _p1_time(self, s: int) -> float:
-        m = self.sf.update_size(s)
-        k = self.sf.width(s)
-        key = (m, k)
-        hit = self._p1_cache.get(key)
-        if hit is None:
-            hit = estimate_policy_time(self._p1, m, k, self._model)
-            self._p1_cache[key] = hit
-        return hit
-
-    def _upward_ranks(self) -> np.ndarray:
-        """Task priority: seconds from the task to the root, inclusive —
-        the same upward rank the static list scheduler uses, priced on
-        the pool's best (GPU if any) worker."""
-        sf = self.sf
-        has_gpu = self.pool.gpu_worker() is not None
-        dur = np.array(
-            [self._fu_time(s, has_gpu)[0] + self._asm[s]
-             for s in range(sf.n_supernodes)]
-        )
-        rank = dur.copy()
-        for s in sf.spost[::-1]:  # parents before children
-            parent = int(sf.sparent[s])
-            if parent >= 0:
-                rank[int(s)] = dur[int(s)] + rank[parent]
-        return rank
+        return self._pricer.p1_time(s)
 
     # ------------------------------------------------------------------
     # memory accounting
     # ------------------------------------------------------------------
     def _device_demand(self, name: str, m: int, k: int) -> int:
-        """Device words a policy's working set needs, per the transfer
-        volumes of Section IV-B (Equation 2)."""
-        word = self._model.gpu_word
-        if name == "P2":
-            return (m * k + m * m) * word
-        if name.startswith("P3"):
-            return (k * k + m * k + m * m) * word
-        if name.startswith("P4"):
-            return (m + k) * (m + k) * word
-        return 0
+        return self._pricer.device_demand(name, m, k)
 
     def _device_high_water(self) -> int:
         caps = [

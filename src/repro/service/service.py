@@ -128,9 +128,13 @@ class SolverService:
         via :meth:`submit`).
     backend : str
         How factorizations execute: ``"serial"`` (default), ``"static"``
-        list scheduler, or the ``"dynamic"`` event-driven runtime of
-        :mod:`repro.runtime`.  All three produce bit-identical factors,
-        so cached factors are shared across backends.
+        list scheduler, the ``"dynamic"`` event-driven runtime of
+        :mod:`repro.runtime`, or the ``"cluster"`` fleet loop of
+        :mod:`repro.cluster` (shape via ``cluster``).  All backends
+        produce bit-identical factors, so cached factors are shared
+        across backends.
+    cluster : ClusterSpec, optional
+        Fleet shape for ``backend="cluster"`` factorizations.
     ordering, amalgamation :
         Symbolic-analysis settings; part of the symbolic cache key.
     cache : FactorizationCache, optional
@@ -175,19 +179,24 @@ class SolverService:
         node_factory=None,
         faults=None,
         shadow_verify_rate: float = 0.0,
+        cluster=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
-        if backend not in ("serial", "static", "dynamic"):
+        if backend not in ("serial", "static", "dynamic", "cluster"):
             raise ValueError(
-                f"unknown backend {backend!r} (serial | static | dynamic)"
+                f"unknown backend {backend!r} "
+                "(serial | static | dynamic | cluster)"
             )
         if faults is not None and backend != "dynamic":
             raise ValueError("faults require backend='dynamic'")
+        if cluster is not None and backend != "cluster":
+            raise ValueError("cluster spec requires backend='cluster'")
         if not 0.0 <= shadow_verify_rate <= 1.0:
             raise ValueError("shadow_verify_rate must be in [0, 1]")
         self.policy = policy
         self.backend = backend
+        self.cluster = cluster
         self.faults = faults
         self.shadow_verify_rate = float(shadow_verify_rate)
         self._shadow_acc = 0.0
@@ -344,6 +353,7 @@ class SolverService:
     ) -> SparseCholeskySolver:
         backend = backend if backend is not None else self.backend
         faults = self.faults if backend == "dynamic" else None
+        cluster = self.cluster if backend == "cluster" else None
         classifier = None
         if not isinstance(spec, Policy) and str(spec).lower() == "model":
             with self._classifier_lock:
@@ -363,12 +373,13 @@ class SolverService:
             return SparseCholeskySolver.from_symbolic(
                 canonical, symbolic, policy=spec,
                 node=self._node_factory(), classifier=classifier,
-                backend=backend, faults=faults,
+                backend=backend, faults=faults, cluster=cluster,
             )
         return SparseCholeskySolver(
             canonical, ordering=self.ordering, policy=spec,
             node=self._node_factory(), amalgamation=self.amalgamation,
             classifier=classifier, backend=backend, faults=faults,
+            cluster=cluster,
         )
 
     def _process(self, req: SolveRequest, worker: int) -> None:

@@ -32,6 +32,10 @@ Checkers
 * :func:`check_degraded_still_solves` — under total injected GPU kernel
   failure the dynamic backend degrades to P1 but still produces a
   factor that solves to double-precision backward error.
+* :func:`check_fleet_failover` — with the affinity-primary node of a
+  sharded fleet taken down by injected faults, the router fails over to
+  a replica, the outcome is flagged degraded, the factor is never
+  cached on the dead primary, and the answer still solves.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ __all__ = [
     "check_cache_key_purity",
     "check_factor_residual",
     "check_degraded_still_solves",
+    "check_fleet_failover",
     "run_invariants",
 ]
 
@@ -301,6 +306,49 @@ def check_degraded_still_solves(
     return violations
 
 
+def check_fleet_failover(a: CSCMatrix, *, tol: float = 1e-9) -> list[str]:
+    """A dead affinity primary must fail over — degraded, never cached
+    under the healthy key space — and the replica's answer must solve."""
+    from repro.cluster.fleet import ShardedSolverService
+    from repro.runtime.faults import FaultInjector
+    from repro.service.keys import canonicalize
+    from repro.verify.lattice import normwise_backward_error
+
+    violations: list[str] = []
+    # a probe fleet (no faults) tells us which node owns this pattern
+    with ShardedSolverService(2, policy="P1") as probe:
+        primary = probe.primary_for(a)
+    fleet = ShardedSolverService(
+        2,
+        policy="P1",
+        node_faults=FaultInjector(fail_sids=frozenset({primary})),
+    )
+    try:
+        b = np.ones(a.n_rows)
+        outcome = fleet.solve(a, b)
+        if not outcome.degraded:
+            violations.append(
+                "failed-over solve was not flagged degraded "
+                f"(primary node {primary} was down)"
+            )
+        if fleet.metrics.counter("failovers") < 1:
+            violations.append("fleet metrics recorded no failover")
+        if len(fleet.shards[primary].cache) != 0:
+            violations.append(
+                f"factor was cached on the dead primary node {primary} — "
+                "failover leaked into the healthy key space"
+            )
+        eta = normwise_backward_error(canonicalize(a), outcome.x, b)
+        if eta > tol:
+            violations.append(
+                f"failed-over solve inaccurate: backward error {eta:.3e} "
+                f"exceeds {tol:.3e}"
+            )
+    finally:
+        fleet.shutdown()
+    return violations
+
+
 # ----------------------------------------------------------------------
 # suite entry point
 # ----------------------------------------------------------------------
@@ -337,5 +385,8 @@ def run_invariants(
         )
         reports.append(
             _report("degraded-still-solves", check_degraded_still_solves(full))
+        )
+        reports.append(
+            _report("fleet-failover", check_fleet_failover(full))
         )
     return reports

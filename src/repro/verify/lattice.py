@@ -80,24 +80,32 @@ class VerifyConfig:
 
     policy: str = "P1"
     schedule: str = "post"             # "post" | "liu" (serial only)
-    backend: str = "serial"            # "serial" | "static" | "dynamic"
+    backend: str = "serial"            # "serial" | "static" | "dynamic" | "cluster"
     precision: str = "sp"              # GPU compute precision: "sp" | "dp"
     ordering: str = "amd"
     panel_width: int | None = None     # P4 blocked panel width override
+    nodes: int = 1                     # cluster rank count (cluster only)
 
     def __post_init__(self):
         if self.schedule not in ("post", "liu"):
             raise ValueError(f"unknown schedule {self.schedule!r}")
-        if self.backend not in ("serial", "static", "dynamic"):
+        if self.backend not in ("serial", "static", "dynamic", "cluster"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.precision not in ("sp", "dp"):
             raise ValueError(f"unknown precision {self.precision!r}")
         if self.schedule == "liu" and self.backend != "serial":
             raise ValueError("schedule='liu' requires the serial backend")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.nodes > 1 and self.backend != "cluster":
+            raise ValueError("nodes > 1 requires backend='cluster'")
 
     @property
     def label(self) -> str:
-        parts = [self.policy, self.schedule, self.backend, self.precision,
+        backend = self.backend
+        if backend == "cluster":
+            backend = f"cluster{self.nodes}"
+        parts = [self.policy, self.schedule, backend, self.precision,
                  self.ordering]
         if self.panel_width is not None:
             parts.append(f"w{self.panel_width}")
@@ -109,7 +117,7 @@ class VerifyConfig:
         model = tesla_t10_model()
         if self.precision != model.precision:
             model = dataclasses.replace(model, precision=self.precision)
-        n_cpus = 1 if self.backend == "serial" else 2
+        n_cpus = 1 if self.backend in ("serial", "cluster") else 2
         return SimulatedNode(model=model, n_cpus=n_cpus, n_gpus=1)
 
     def make_policy(self):
@@ -122,13 +130,22 @@ class VerifyConfig:
         return make_policy(name)
 
     def build_solver(self, a: CSCMatrix, **kwargs) -> SparseCholeskySolver:
+        node = self.make_node()
+        cluster = None
+        if self.backend == "cluster":
+            from repro.cluster.topology import ClusterSpec
+
+            cluster = ClusterSpec(
+                n_ranks=self.nodes, gpus_per_rank=1, model=node.model
+            )
         return SparseCholeskySolver(
             a,
             ordering=self.ordering,
             policy=self.make_policy(),
-            node=self.make_node(),
+            node=node,
             schedule=self.schedule,
             backend=self.backend,
+            cluster=cluster,
             **kwargs,
         )
 
@@ -277,8 +294,9 @@ class PairReport:
 def default_pairs(*, gpu_policy: str = "P4") -> list[ConfigPair]:
     """The promised pairs every PR must keep honouring.
 
-    Bitwise: the three backends and the two serial schedules are pure
-    reorderings of identical factor-update calls.  Normwise: fp32 GPU
+    Bitwise: the four backends (including the cluster backend at any
+    rank count) and the two serial schedules are pure reorderings of
+    identical factor-update calls.  Normwise: fp32 GPU
     compute, panel width, GPU precision and fill-reducing ordering all
     change the float stream, but refinement must restore double-precision
     backward error and the two solutions must agree to a
@@ -303,6 +321,18 @@ def default_pairs(*, gpu_policy: str = "P4") -> list[ConfigPair]:
             f"static vs dynamic ({gpu_policy})",
             dataclasses.replace(gpu, backend="static"),
             dataclasses.replace(gpu, backend="dynamic"), "bitwise",
+        ),
+        ConfigPair(
+            "serial vs cluster (1 node)", p1,
+            dataclasses.replace(p1, backend="cluster", nodes=1), "bitwise",
+        ),
+        ConfigPair(
+            "serial vs cluster (2 nodes)", p1,
+            dataclasses.replace(p1, backend="cluster", nodes=2), "bitwise",
+        ),
+        ConfigPair(
+            "serial vs cluster (4 nodes)", p1,
+            dataclasses.replace(p1, backend="cluster", nodes=4), "bitwise",
         ),
         ConfigPair(
             f"fp64 (P1) vs fp32+refine ({gpu_policy})", p1, gpu, "normwise",

@@ -11,6 +11,9 @@ than the handful of fixed scenarios:
   the dynamic scheduler.  Simulated makespans are *not* bitwise
   invariant across backends (float reassociation under different
   scheduling orders), so they are only required to agree loosely.
+* **cluster node-count invariance** — the fan-both cluster backend
+  produces the same factor bytes at any fleet size (1, 2 or 4 nodes)
+  as the serial walk; only the timing schedule changes.
 * **run-to-run stability** — repeating the same configuration must
   reproduce every counter bit for bit, including the makespan and the
   allocator high-water marks.  This is the property the repeat-checker
@@ -81,6 +84,27 @@ class TestCrossBackendInvariance:
         ref = max(spans)
         assert ref > 0
         assert all(abs(s - ref) <= 1e-6 * ref for s in spans)
+
+
+class TestClusterNodeCountInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(spd_problem(), st.sampled_from((1, 2, 4)))
+    def test_cluster_fingerprint_node_count_invariant(self, a, n_nodes):
+        # sharding the tree across a fleet changes the timing schedule
+        # but never the panel bytes: any node count fingerprints equal
+        # to the serial walk
+        from repro.cluster import ClusterSpec
+
+        sym = symbolic_factorize(a, ordering="nd")
+        serial = _run_backend(a, sym, "serial")
+        clustered = SparseCholeskySolver.from_symbolic(
+            a, sym, policy="P1", backend="cluster",
+            cluster=ClusterSpec(n_ranks=n_nodes, gpus_per_rank=1),
+        )
+        clustered.factorize()
+        assert factor_fingerprint(clustered.factor) == factor_fingerprint(
+            serial.factor
+        )
 
 
 class TestRunToRunStability:

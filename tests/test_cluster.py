@@ -1,4 +1,6 @@
-"""Cluster extension: mapping, interconnect accounting, scaling."""
+"""Cluster extension: mapping, interconnect accounting, event-driven
+fan-both runtime, bitwise identity with the serial backend, and the
+sharded serving fleet."""
 
 import numpy as np
 import pytest
@@ -6,11 +8,16 @@ import pytest
 from repro.cluster import (
     ClusterSpec,
     InterconnectParams,
+    ShardedSolverService,
+    ShardRouter,
+    cluster_factorize,
+    cluster_replay,
     map_subtrees_to_ranks,
     simulate_cluster,
     subtree_flops,
+    update_message_bytes,
 )
-from repro.matrices import grid_laplacian_3d
+from repro.matrices import grid_laplacian_2d, grid_laplacian_3d
 from repro.policies import BaselineHybrid, make_policy
 from repro.symbolic import symbolic_factorize
 from repro.symbolic.etree import NO_PARENT
@@ -166,3 +173,232 @@ class TestSimulation:
             wl, make_policy("P1"), ClusterSpec(4, 0, model=model)
         )
         assert 0.0 < res.utilization() <= 1.05
+
+
+class TestClusterRuntime:
+    """The event-driven fan-both execution (repro.cluster.runtime)."""
+
+    @pytest.fixture(scope="class")
+    def serial_fp(self, lap3d_small, sf_lap3d):
+        from repro.multifrontal import SparseCholeskySolver
+        from repro.verify.lattice import factor_fingerprint
+
+        solver = SparseCholeskySolver.from_symbolic(
+            lap3d_small, sf_lap3d, policy="P1", backend="serial"
+        )
+        solver.factorize()
+        return factor_fingerprint(solver.factor)
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_factor_bitwise_identical_to_serial(
+        self, lap3d_small, sf_lap3d, model, serial_fp, n_nodes
+    ):
+        from repro.verify.lattice import factor_fingerprint
+
+        res = cluster_factorize(
+            lap3d_small, sf_lap3d, make_policy("P1"),
+            ClusterSpec(n_nodes, 1, model=model),
+        )
+        assert factor_fingerprint(res.factor) == serial_fp
+
+    def test_two_runs_bit_stable(self, lap3d_small, sf_lap3d, model):
+        from repro.verify.lattice import factor_fingerprint
+
+        spec = ClusterSpec(3, 1, model=model)
+        runs = [
+            cluster_factorize(lap3d_small, sf_lap3d, make_policy("P4"), spec)
+            for _ in range(2)
+        ]
+        assert runs[0].makespan == runs[1].makespan
+        assert runs[0].comm_bytes == runs[1].comm_bytes
+        assert runs[0].comm_messages == runs[1].comm_messages
+        assert runs[0].comm_seconds == runs[1].comm_seconds
+        assert [t.sid for t in runs[0].schedule] == [
+            t.sid for t in runs[1].schedule
+        ]
+        assert factor_fingerprint(runs[0].factor) == factor_fingerprint(
+            runs[1].factor
+        )
+
+    def test_replay_scaling_monotone(self, wl, model):
+        times = [
+            cluster_replay(
+                wl, make_policy("P1"), ClusterSpec(n, 0, model=model)
+            ).makespan
+            for n in (1, 2, 4)
+        ]
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_schedule_validates(self, wl, model):
+        res = cluster_replay(
+            wl, make_policy("P1"), ClusterSpec(4, 0, model=model)
+        )
+        assert res.validate(wl) == []
+        assert len(res.schedule) == wl.n_supernodes
+
+    def test_message_ordering_and_byte_accounting(self, wl, model):
+        spec = ClusterSpec(4, 0, model=model)
+        res = cluster_replay(wl, make_policy("P1"), spec)
+        # seq numbers are assigned in send order and strictly increase
+        seqs = [m.seq for m in res.messages]
+        assert seqs == sorted(seqs) == list(range(len(seqs)))
+        starts = [m.send_start for m in res.messages]
+        assert starts == sorted(starts)
+        for m in res.messages:
+            assert m.arrival == pytest.approx(
+                m.send_end + spec.interconnect.latency
+            )
+            assert m.src != m.dst
+        # total bytes = one update block per cross edge carrying m > 0 rows
+        expect = sum(
+            update_message_bytes(wl.update_size(s))
+            for s in range(wl.n_supernodes)
+            if wl.sparent[s] != NO_PARENT
+            and res.owner[wl.sparent[s]] != res.owner[s]
+            and wl.update_size(s) > 0
+        )
+        assert res.comm_bytes == expect
+        assert res.comm_messages == len(res.messages)
+
+    def test_single_node_has_no_messages(self, wl, model):
+        res = cluster_replay(
+            wl, make_policy("P1"), ClusterSpec(1, 0, model=model)
+        )
+        assert res.comm_messages == 0
+        assert res.comm_bytes == 0
+        assert res.messages == []
+
+    def test_owner_validated(self, sf, model):
+        spec = ClusterSpec(2, 0, model=model)
+        with pytest.raises(ValueError):
+            cluster_replay(
+                sf, make_policy("P1"), spec,
+                owner=np.full(sf.n_supernodes, 7),
+            )
+        with pytest.raises(ValueError):
+            cluster_replay(
+                sf, make_policy("P1"), spec, owner=np.zeros(3, dtype=np.int64)
+            )
+
+    def test_chrome_trace_lanes_node_major(self, wl, model):
+        res = cluster_replay(
+            wl, make_policy("P1"), ClusterSpec(2, 0, model=model)
+        )
+        trace = res.chrome_trace()
+        names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        # every node0 lane strictly precedes every node1 lane
+        n0 = [i for i, n in enumerate(names) if n.startswith("node0.")]
+        n1 = [i for i, n in enumerate(names) if n.startswith("node1.")]
+        assert n0 and n1
+        assert max(n0) < min(n1)
+
+    def test_metrics_export(self, wl, model):
+        res = cluster_replay(
+            wl, make_policy("P1"), ClusterSpec(2, 0, model=model)
+        )
+        m = res.metrics()
+        assert m.counter("tasks") == wl.n_supernodes
+        assert m.counter("comm_messages") == res.comm_messages
+        rep = m.report()
+        assert rep["gauges"]["comm_bytes"] == res.comm_bytes
+
+
+class TestShardRouter:
+    def test_deterministic_and_complete(self):
+        router = ShardRouter(4)
+        for key in ("a", "b", "pattern:123"):
+            ranking = router.ranking(key)
+            assert sorted(ranking) == [0, 1, 2, 3]
+            assert ranking == ShardRouter(4).ranking(key)
+            assert router.primary(key) == ranking[0]
+
+    def test_keys_spread_across_nodes(self):
+        router = ShardRouter(4)
+        owners = {router.primary(f"key{i}") for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_mark_down_fails_over_and_recovers(self):
+        router = ShardRouter(3)
+        key = "some-pattern"
+        first, second = router.ranking(key)[:2]
+        assert router.route(key) == first
+        router.mark_down(first)
+        assert router.route(key) == second
+        assert first not in router.healthy_nodes()
+        router.mark_up(first)
+        assert router.route(key) == first
+
+    def test_all_down_raises(self):
+        router = ShardRouter(2)
+        router.mark_down(0)
+        router.mark_down(1)
+        with pytest.raises(RuntimeError, match="no healthy nodes"):
+            router.route("k")
+
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestShardedFleet:
+    @pytest.fixture(scope="class")
+    def a(self):
+        return grid_laplacian_2d(9, 9)
+
+    def test_affinity_routing_is_sticky(self, a):
+        with ShardedSolverService(3, policy="P1") as fleet:
+            primary = fleet.primary_for(a)
+            for _ in range(3):
+                out = fleet.solve(a, np.ones(a.n_rows))
+                assert not out.degraded
+            rep = fleet.report()
+        assert rep["fleet"]["counters"][f"node{primary}.requests"] == 3
+        assert rep["fleet"]["counters"]["routed"] == 3
+        assert rep["fleet"]["counters"].get("failovers", 0) == 0
+        assert rep["fleet"]["counters"]["interconnect_bytes"] > 0
+
+    def test_failover_degrades_and_skips_primary_cache(self, a):
+        from repro.runtime.faults import FaultInjector
+
+        with ShardedSolverService(2, policy="P1") as probe:
+            primary = probe.primary_for(a)
+        fleet = ShardedSolverService(
+            2, policy="P1",
+            node_faults=FaultInjector(fail_sids=frozenset({primary})),
+        )
+        try:
+            out = fleet.solve(a, np.ones(a.n_rows))
+            assert out.degraded
+            assert fleet.metrics.counter("failovers") == 1
+            assert fleet.metrics.counter("nodes_marked_down") == 1
+            # the factor lives on the replica, never the dead primary
+            assert len(fleet.shards[primary].cache) == 0
+            replica = 1 - primary
+            assert len(fleet.shards[replica].cache) > 0
+            assert fleet.router.healthy_nodes() == [replica]
+        finally:
+            fleet.shutdown()
+
+    def test_whole_fleet_down_raises(self, a):
+        from repro.runtime.faults import FaultInjector
+
+        fleet = ShardedSolverService(
+            2, policy="P1",
+            node_faults=FaultInjector(fail_sids=frozenset({0, 1})),
+        )
+        try:
+            with pytest.raises(RuntimeError, match="no healthy nodes"):
+                fleet.solve(a, np.ones(a.n_rows))
+        finally:
+            fleet.shutdown()
+
+    def test_solution_correct_across_fleet(self, a):
+        with ShardedSolverService(2, policy="P1") as fleet:
+            b = np.arange(1.0, a.n_rows + 1)
+            out = fleet.solve(a, b)
+            assert np.linalg.norm(a.matvec(out.x) - b) < 1e-8 * np.linalg.norm(b)

@@ -61,6 +61,26 @@ class TestChromeTrace:
         ]
         assert [m["tid"] for m in metas] == [0, 1, 2, 3]
 
+    def test_engine_rows_group_node_major(self):
+        # regression: namespaced engines (node{i}./rank{i}.) group by
+        # node first, then by kind within the node; un-namespaced lanes
+        # keep their old position ahead of every node
+        g = TaskGraph()
+        a = g.add("k0", "node1.nic", 1e-4, category="comm")
+        b = g.add("k1", "node1.cpu", 1e-3, deps=(a,), category="potrf")
+        c = g.add("k2", "node0.gpu", 5e-4, deps=(b,), category="syrk")
+        d = g.add("k3", "node0.cpu", 1e-3, deps=(c,), category="potrf")
+        g.add("k4", "cpu0", 1e-3, deps=(d,), category="potrf")
+        schedule_graph(g)
+        doc = tasks_to_chrome_trace(g.tasks)
+        metas = sorted(
+            (e for e in doc["traceEvents"] if e["ph"] == "M"),
+            key=lambda e: e["tid"],
+        )
+        assert [m["args"]["name"] for m in metas] == [
+            "cpu0", "node0.cpu", "node0.gpu", "node1.cpu", "node1.nic"
+        ]
+
     def test_write_round_trip(self, scheduled_tasks, tmp_path):
         path = tmp_path / "trace.json"
         write_chrome_trace(path, scheduled_tasks)

@@ -77,6 +77,19 @@ class TestLattice:
             VerifyConfig(precision="quad")
         with pytest.raises(ValueError):
             VerifyConfig(schedule="liu", backend="static")
+        with pytest.raises(ValueError):
+            VerifyConfig(nodes=0)
+        with pytest.raises(ValueError):
+            VerifyConfig(nodes=2)            # needs backend="cluster"
+        assert VerifyConfig(backend="cluster", nodes=4).label.count("cluster4")
+
+    def test_default_pairs_cover_cluster_node_counts(self):
+        cluster = [
+            p for p in pairs_by_name("bitwise")
+            if p.right.backend == "cluster"
+        ]
+        assert sorted(p.right.nodes for p in cluster) == [1, 2, 4]
+        assert all(p.left.backend == "serial" for p in cluster)
 
     def test_backward_error_perfect_solution_is_tiny(self, lap2d_small):
         solver = VerifyConfig().build_solver(lap2d_small)
