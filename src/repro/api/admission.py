@@ -1,0 +1,192 @@
+"""Edge admission control: a bounded fair queue that sheds, not buffers.
+
+The front door applies the paper's admit-or-defer discipline at the
+request layer: work is either *admitted* into a bounded queue or
+*shed* with a structured envelope before it costs anything — the same
+shape as the runtime's memory-aware admission (PR 2), which defers
+supernode tasks whose projected update-stack bytes exceed the device
+budget, and the fan-both solver's asynchronous task delivery.
+
+Two shed triggers, checked in order:
+
+* ``queue_full`` — total queued entries reached ``capacity``;
+* ``memory_pressure`` — the ``memory_signal`` callable (the app wires
+  it to :meth:`SolverService.health`'s ``cache_utilization``, the
+  serving-layer proxy for the runtime's device-budget signal) reports
+  at or above ``memory_threshold``.
+
+Admitted entries wait in per-client FIFO lanes drained round-robin, so
+one chatty client cannot starve the rest: with ``k`` active clients
+each owns ``1/k`` of the dispatch slots regardless of arrival order.
+
+The queue exports ``edge.queue_depth`` (gauge, with the ``_max``
+high-water mark :meth:`ServiceMetrics.gauge` keeps) and
+``edge.shed_total`` plus per-reason ``edge.shed_*`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EdgeEntry", "EdgeQueue"]
+
+
+@dataclass
+class EdgeEntry:
+    """One admitted unit of work waiting at the edge.
+
+    ``work`` is the deferred service call (built by the app, closed over
+    the parsed payload); it receives the remaining seconds until
+    ``deadline`` (or ``None``).  Exactly one of ``job`` (async
+    factorize) / ``waiter`` (sync solve) is set and receives the
+    completion.  ``deadline`` is absolute on the app clock; ``None``
+    means no edge deadline.
+    """
+
+    client: str
+    request_id: str
+    work: Callable[[float | None], object]
+    job: object | None = None
+    waiter: object | None = None
+    deadline: float | None = None
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EdgeQueue:
+    """Bounded multi-lane FIFO with round-robin fairness and shedding."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        *,
+        metrics=None,
+        memory_signal: Callable[[], float] | None = None,
+        memory_threshold: float = 0.95,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 < memory_threshold <= 1.0:
+            raise ValueError("memory_threshold must be in (0, 1]")
+        self.capacity = int(capacity)
+        self.memory_threshold = float(memory_threshold)
+        self._memory_signal = memory_signal
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # client -> FIFO lane; _rr cycles lane names for fair dispatch
+        self._lanes: OrderedDict[str, deque[EdgeEntry]] = OrderedDict()
+        self._rr: deque[str] = deque()
+        self._count = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, entry: EdgeEntry) -> str | None:
+        """Admit ``entry`` or return the shed reason (never raises).
+
+        The memory signal is read *outside* the queue lock — it may
+        consult service-side state with locks of its own.
+        """
+        pressure = 0.0
+        if self._memory_signal is not None:
+            pressure = float(self._memory_signal())
+        with self._cond:
+            if self._closed:
+                reason = "closed"
+            elif self._count >= self.capacity:
+                reason = "queue_full"
+            elif pressure >= self.memory_threshold:
+                reason = "memory_pressure"
+            else:
+                lane = self._lanes.get(entry.client)
+                if lane is None:
+                    lane = self._lanes[entry.client] = deque()
+                    self._rr.append(entry.client)
+                lane.append(entry)
+                self._count += 1
+                depth = self._count
+                self._cond.notify()
+                reason = None
+        if self._metrics is not None:
+            if reason is None:
+                self._metrics.gauge("edge.queue_depth", depth)
+            else:
+                self._metrics.incr("edge.shed_total")
+                self._metrics.incr(f"edge.shed_{reason}")
+        return reason
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def pop(self, *, wait: bool = False, timeout: float | None = None):
+        """Next entry round-robin across client lanes; ``None`` if empty.
+
+        With ``wait=True`` blocks until an entry arrives, the queue is
+        closed, or ``timeout`` elapses.
+        """
+        with self._cond:
+            while True:
+                entry = self._pop_locked()
+                if entry is not None:
+                    depth = self._count
+                    break
+                if not wait or self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+        if self._metrics is not None:
+            self._metrics.gauge("edge.queue_depth", depth)
+        return entry
+
+    def _pop_locked(self) -> EdgeEntry | None:
+        while self._rr:
+            client = self._rr[0]
+            lane = self._lanes.get(client)
+            if not lane:
+                # lane drained (or emptied by cancellation): retire it
+                self._rr.popleft()
+                self._lanes.pop(client, None)
+                continue
+            entry = lane.popleft()
+            self._count -= 1
+            # rotate: this client goes to the back of the service order
+            self._rr.rotate(-1)
+            if not lane:
+                self._lanes.pop(client, None)
+                self._rr.remove(client)
+            return entry
+        return None
+
+    def remove(self, entry: EdgeEntry) -> bool:
+        """Cancellation hook: drop a still-queued entry; False if gone."""
+        with self._cond:
+            lane = self._lanes.get(entry.client)
+            if lane is None:
+                return False
+            try:
+                lane.remove(entry)
+            except ValueError:
+                return False
+            self._count -= 1
+            depth = self._count
+        if self._metrics is not None:
+            self._metrics.gauge("edge.queue_depth", depth)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return self._count
+
+    def close(self) -> None:
+        """Stop admitting; wake blocked poppers so dispatchers exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

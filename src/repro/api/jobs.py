@@ -1,0 +1,146 @@
+"""Async job store: submit -> poll lifecycle for large factorizations.
+
+``POST /v1/factorize`` answers ``202`` with a job id instead of holding
+the connection open across a factorization.  Jobs move through a small
+explicit state machine::
+
+    queued ----> running ----> done
+       |            |            (terminal, with a result document)
+       |            +----------> failed / deadline_exceeded
+       +---------> cancelled     (DELETE while still queued)
+       +---------> deadline_exceeded  (expired before dispatch)
+
+Transitions are validated — a job can neither complete twice nor revive
+from a terminal state — and terminal jobs are retained (bounded, oldest
+evicted first) so clients can poll results after completion.  Job ids
+are sequential (``job-NNNNNNNN``): like request ids they feed the
+deterministic benchmark, so a replayed request stream must mint the
+same ids.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["Job", "JobState", "JobStore"]
+
+
+class JobState:
+    """String states of the job lifecycle (wire values, part of the API)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED})
+    _VALID = {
+        QUEUED: frozenset({RUNNING, CANCELLED, DEADLINE_EXCEEDED}),
+        RUNNING: frozenset({DONE, FAILED, DEADLINE_EXCEEDED}),
+    }
+
+
+class Job:
+    """One asynchronous factorization; mutated only through the store."""
+
+    __slots__ = (
+        "job_id", "client", "request_id", "state", "result", "error",
+        "created", "finished",
+    )
+
+    def __init__(self, job_id: str, client: str, request_id: str,
+                 created: float):
+        self.job_id = job_id
+        self.client = client
+        self.request_id = request_id
+        self.state = JobState.QUEUED
+        self.result: dict | None = None
+        self.error: tuple[str, str] | None = None   # (code, message)
+        self.created = created
+        self.finished: float | None = None
+
+    def describe(self) -> dict:
+        """The ``GET /v1/jobs/{id}`` document."""
+        doc: dict[str, object] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "request_id": self.request_id,
+        }
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            code, message = self.error
+            doc["error"] = {"code": code, "message": message}
+        return doc
+
+
+class JobStore:
+    """Thread-safe id -> :class:`Job` map with bounded terminal retention."""
+
+    def __init__(self, *, max_finished: int = 4096):
+        if max_finished < 1:
+            raise ValueError("max_finished must be at least 1")
+        self.max_finished = int(max_finished)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._finished: OrderedDict[str, None] = OrderedDict()
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    def create(self, client: str, request_id: str, *, now: float) -> Job:
+        with self._lock:
+            self._next += 1
+            job = Job(f"job-{self._next:08d}", client, request_id, now)
+            self._jobs[job.job_id] = job
+        return job
+
+    def drop(self, job: Job) -> None:
+        """Forget a job whose edge admission was shed (it never ran)."""
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+            self._finished.pop(job.job_id, None)
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def transition(self, job: Job, state: str, *, now: float,
+                   result: dict | None = None,
+                   error: tuple[str, str] | None = None) -> bool:
+        """Move ``job`` to ``state``; False when the move is not legal
+        from its current state (e.g. completing a cancelled job)."""
+        with self._lock:
+            allowed = JobState._VALID.get(job.state, frozenset())
+            if state not in allowed:
+                return False
+            job.state = state
+            if result is not None:
+                job.result = result
+            if error is not None:
+                job.error = error
+            if state in JobState.TERMINAL:
+                job.finished = now
+                self._finished[job.job_id] = None
+                while len(self._finished) > self.max_finished:
+                    old_id, _ = self._finished.popitem(last=False)
+                    self._jobs.pop(old_id, None)
+            return True
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (for health/metrics surfaces)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

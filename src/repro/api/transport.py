@@ -1,0 +1,126 @@
+"""Transports: in-process ASGI test client + stdlib HTTP bridge.
+
+Two ways to reach the same :meth:`~repro.api.app.ApiApp.handle` core:
+
+* :class:`InProcessClient` speaks real ASGI to the app — it builds the
+  ``scope`` / ``receive`` / ``send`` triple and drives the app
+  coroutine with a bare ``coro.send(None)`` loop.  That works without
+  an event loop because the app's awaitables (its own ``receive`` /
+  ``send``) never truly suspend; CI therefore exercises the ASGI
+  adapter with zero extra dependencies.  Any real ASGI server
+  (``uvicorn repro.api:create_app`` style) speaks to the identical
+  code path.
+* :func:`serve_http` binds the app behind the standard library's
+  threading HTTP server — a real TCP wire for ``repro api-serve`` and
+  ``curl``, again without new dependencies.  It calls ``handle``
+  directly (the ASGI hop adds nothing over a real socket we own).
+"""
+
+from __future__ import annotations
+
+import json as _json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.protocol import Request, Response
+
+__all__ = ["InProcessClient", "serve_http"]
+
+
+class InProcessClient:
+    """Synchronous ASGI client: no sockets, no event loop, full adapter."""
+
+    def __init__(self, app):
+        self.app = app
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, *,
+                headers: dict[str, str] | None = None,
+                json: dict | None = None,
+                body: bytes = b"",
+                api_key: str | None = None) -> Response:
+        hdrs = {k.lower(): v for k, v in (headers or {}).items()}
+        if api_key is not None:
+            hdrs["x-api-key"] = api_key
+        if json is not None:
+            body = _json.dumps(json).encode()
+            hdrs.setdefault("content-type", "application/json")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "method": method.upper(),
+            "path": path,
+            "headers": [
+                (k.encode("latin-1"), v.encode("latin-1"))
+                for k, v in hdrs.items()
+            ],
+        }
+        inbox = [{"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            return inbox.pop(0)
+
+        sent: list[dict] = []
+
+        async def send(message):
+            sent.append(message)
+
+        coro = self.app(scope, receive, send)
+        try:
+            while True:
+                coro.send(None)
+        except StopIteration:
+            pass
+        start = next(m for m in sent if m["type"] == "http.response.start")
+        payload = b"".join(
+            m.get("body", b"") for m in sent
+            if m["type"] == "http.response.body"
+        )
+        resp_headers = {
+            k.decode("latin-1"): v.decode("latin-1")
+            for k, v in start.get("headers", [])
+        }
+        return Response(start["status"], payload, resp_headers)
+
+    # convenience verbs -------------------------------------------------
+    def get(self, path: str, **kw) -> Response:
+        return self.request("GET", path, **kw)
+
+    def post(self, path: str, **kw) -> Response:
+        return self.request("POST", path, **kw)
+
+    def delete(self, path: str, **kw) -> Response:
+        return self.request("DELETE", path, **kw)
+
+
+def serve_http(app, host: str = "127.0.0.1", port: int = 8080,
+               *, quiet: bool = True) -> ThreadingHTTPServer:
+    """Bind ``app`` behind a stdlib threading HTTP server.
+
+    Returns the (already bound, not yet serving) server; the caller
+    owns ``serve_forever()`` / ``shutdown()``.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self) -> None:
+            length = int(self.headers.get("content-length") or 0)
+            body = self.rfile.read(length) if length else b""
+            headers = {k.lower(): v for k, v in self.headers.items()}
+            resp = app.handle(
+                Request(self.command.upper(), self.path, headers, body)
+            )
+            self.send_response(resp.status)
+            for name, value in resp.headers.items():
+                self.send_header(name, value)
+            self.send_header("content-length", str(len(resp.body)))
+            self.end_headers()
+            self.wfile.write(resp.body)
+
+        do_GET = do_POST = do_DELETE = do_PUT = _dispatch
+
+        def log_message(self, fmt, *args):  # pragma: no cover - noise knob
+            if not quiet:
+                super().log_message(fmt, *args)
+
+    return ThreadingHTTPServer((host, port), Handler)

@@ -427,3 +427,42 @@ _register(Scenario(
     prepare=lambda suite: _solve_run(suite) and None,
     tags=("deterministic", "solve"),
 ))
+
+
+# ----------------------------------------------------------------------
+# API front door throughput
+# ----------------------------------------------------------------------
+_API_CLIENTS = 250
+_API_EDGE_CAPACITY = 32
+_API_DEADLINE = 8
+
+
+def _api_run(suite: SuiteCache) -> Measurement:
+    from repro.api.loadgen import run_load
+
+    report = run_load(
+        n_clients=_API_CLIENTS,
+        n_nodes=4,
+        edge_capacity=_API_EDGE_CAPACITY,
+        n_deadline=_API_DEADLINE,
+    )
+    det: dict[str, object] = {
+        "clients": _API_CLIENTS,
+        "requests": report.requests,
+    }
+    det.update(report.counters())
+    return Measurement(det)
+
+
+_register(Scenario(
+    name="api-throughput",
+    description=(
+        f"{_API_CLIENTS} clients through the in-process ASGI front door "
+        "over a 4-node fleet: steady, overload (edge-queue shedding), "
+        "deadline and rate-limit phases; every outcome and api.* counter "
+        "is a gated invariant"
+    ),
+    run=_api_run,
+    prepare=lambda suite: _api_run(suite) and None,
+    tags=("deterministic", "api", "service"),
+))

@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``)::
     python -m repro verify --fuzz --budget-seconds 120
     python -m repro lint                       # domain static analysis
     python -m repro lint --list-rules
+    python -m repro api-serve --port 8080      # HTTP front door (repro.api)
+    python -m repro api-bench --clients 1000   # deterministic API load drive
 
 Every subcommand prints plain text and returns a process exit code, so
 the tool scripts cleanly.
@@ -620,6 +622,100 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_api_serve(args) -> int:
+    """Serve the repro.api front door over HTTP (stdlib server)."""
+    from repro.api import ApiApp, serve_http
+    from repro.cluster.fleet import ShardedSolverService
+    from repro.service import SolverService
+
+    keys: dict[str, str] = {}
+    for spec in args.api_key or ["dev-key=dev"]:
+        key, sep, client = spec.partition("=")
+        if not sep or not key or not client:
+            print(f"api-serve: bad --api-key {spec!r} (want KEY=CLIENT)",
+                  file=sys.stderr)
+            return 2
+        keys[key] = client
+
+    if args.nodes > 1:
+        service = ShardedSolverService(
+            args.nodes, n_workers_per_node=args.workers,
+            policy=args.policy, ordering=args.ordering,
+        )
+    else:
+        service = SolverService(
+            n_workers=args.workers, policy=args.policy,
+            ordering=args.ordering,
+        )
+    app = ApiApp(
+        service, api_keys=keys, rate=args.rate, burst=args.burst,
+        edge_capacity=args.edge_capacity,
+        memory_threshold=args.memory_threshold,
+    )
+    server = serve_http(app, args.host, args.port)
+    kind = f"{args.nodes}-node fleet" if args.nodes > 1 else "single service"
+    print(
+        f"repro.api: serving {kind} on http://{args.host}:{args.port} "
+        f"({len(keys)} API key(s); try /v1/healthz)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\napi-serve: shutting down")
+    finally:
+        server.shutdown()
+        app.close()
+        service.shutdown()
+    return 0
+
+
+def cmd_api_bench(args) -> int:
+    """Deterministic phased load drive through the API front door."""
+    import json
+    import time
+
+    from repro.analysis import format_table
+    from repro.api.loadgen import run_load
+
+    t0 = time.perf_counter()
+    report = run_load(
+        n_clients=args.clients,
+        n_nodes=args.nodes,
+        n_steady=args.steady,
+        edge_capacity=args.edge_capacity,
+        overload_jobs=args.overload_jobs,
+        n_deadline=args.deadline,
+    )
+    wall = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps(report.counters(), indent=2, sort_keys=True))
+    else:
+        rows = []
+        for phase, outcomes in report.phases.items():
+            for outcome, count in sorted(outcomes.items()):
+                rows.append([phase, outcome, count])
+        rows.append(["-", "requests", report.requests])
+        rows.append(["-", "invalid envelopes", report.invalid_envelopes])
+        rows.append(["-", "throughput (req/s)",
+                     f"{report.requests / wall:.1f}"])
+        print(format_table(
+            ["phase", "outcome", "count"], rows,
+            title=(
+                f"api-bench: {args.clients} clients over "
+                f"{args.nodes}-node fleet ({wall:.2f}s)"
+            ),
+        ))
+    ok = (
+        report.invalid_envelopes == 0
+        and report.total("internal") == 0
+        and report.phases.get("steady", {}).get("shed", 0) == 0
+        and report.phases.get("overload", {}).get("shed", 0) > 0
+    )
+    if not ok:
+        print("api-bench: FAILED an outcome invariant", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_verify(args) -> int:
     """Differential verification: config lattice, invariants, fuzzing."""
     from repro.verify import format_suite, run_fuzz, verify_suite
@@ -789,6 +885,50 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also run ruff and mypy --strict over "
                          "src/repro/lint when installed")
 
+    ap = sub.add_parser(
+        "api-serve",
+        help="serve the JSON front door (auth, rate limits, job queue) "
+             "over HTTP",
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8080)
+    ap.add_argument("--nodes", type=int, default=1,
+                    help="shard count; >1 serves a ShardedSolverService")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="solver workers per node")
+    ap.add_argument("--policy", default="P1")
+    ap.add_argument("--ordering", default="amd",
+                    choices=("natural", "amd", "rcm", "nd"))
+    ap.add_argument("--api-key", action="append", default=None,
+                    metavar="KEY=CLIENT",
+                    help="register an API key (repeatable; default "
+                         "dev-key=dev)")
+    ap.add_argument("--rate", type=float, default=50.0,
+                    help="per-client sustained requests/second")
+    ap.add_argument("--burst", type=int, default=20,
+                    help="per-client token-bucket burst")
+    ap.add_argument("--edge-capacity", type=int, default=64,
+                    help="bounded edge-queue capacity before shedding")
+    ap.add_argument("--memory-threshold", type=float, default=0.95,
+                    help="cache-pressure level that sheds new work")
+
+    ab = sub.add_parser(
+        "api-bench",
+        help="deterministic phased load through the API front door "
+             "(steady / overload / deadline / ratelimit)",
+    )
+    ab.add_argument("--clients", type=int, default=1000)
+    ab.add_argument("--nodes", type=int, default=4)
+    ab.add_argument("--steady", type=int, default=None,
+                    help="steady-phase requests (default: one per client)")
+    ab.add_argument("--edge-capacity", type=int, default=32)
+    ab.add_argument("--overload-jobs", type=int, default=None,
+                    help="factorize burst size (default: 2x capacity)")
+    ab.add_argument("--deadline", type=int, default=8,
+                    help="requests sent with an already-expired deadline")
+    ab.add_argument("--json", action="store_true",
+                    help="print the flat counter dict instead of a table")
+
     v = sub.add_parser(
         "verify",
         help="differential verification: config lattice, invariants, fuzzing",
@@ -869,6 +1009,8 @@ _COMMANDS = {
     "lint": cmd_lint,
     "verify": cmd_verify,
     "bench": cmd_bench,
+    "api-serve": cmd_api_serve,
+    "api-bench": cmd_api_bench,
 }
 
 

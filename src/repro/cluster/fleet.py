@@ -244,6 +244,50 @@ class ShardedSolverService:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    def health(self) -> dict:
+        """Cheap fleet liveness: per-shard health plus up/down rollup.
+
+        ``status`` is ``ok`` with the whole fleet routable, ``degraded``
+        with at least one node down but a healthy replica left, and
+        ``down`` when no node can take traffic.  Aggregates reuse the
+        per-shard :meth:`SolverService.health` gauges, so the fleet
+        answer stays O(nodes) with no factorization-path locks taken.
+        """
+        healthy = set(self.router.healthy_nodes())
+        nodes = []
+        queue_depth = 0
+        cache_bytes = 0
+        cache_max_bytes = 0
+        utilization = 0.0
+        for i, shard in enumerate(self.shards):
+            h = shard.health()
+            h["node"] = i
+            h["up"] = i in healthy and h["accepting"]
+            nodes.append(h)
+            if h["up"]:
+                queue_depth += h["queue_depth"]
+                cache_bytes += h["cache_bytes"]
+                cache_max_bytes += h["cache_max_bytes"]
+                utilization = max(utilization, h["cache_utilization"])
+        n_up = sum(1 for h in nodes if h["up"])
+        if n_up == 0:
+            status = "down"
+        elif n_up < len(nodes):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "accepting": n_up > 0,
+            "nodes_up": n_up,
+            "nodes_total": len(nodes),
+            "queue_depth": queue_depth,
+            "cache_bytes": cache_bytes,
+            "cache_max_bytes": cache_max_bytes,
+            "cache_utilization": utilization,
+            "nodes": nodes,
+        }
+
     def report(self) -> dict:
         """Fleet metrics plus every shard's own report."""
         out = {

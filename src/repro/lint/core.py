@@ -174,6 +174,7 @@ class LintConfig:
         "repro.gpu",
         "repro.parallel",
         "repro.cluster",
+        "repro.api",
     )
     #: modules that promise bit-for-bit reproducible behaviour
     deterministic_modules: tuple[str, ...] = (

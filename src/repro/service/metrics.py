@@ -145,6 +145,48 @@ class ServiceMetrics:
             json.dump(self.chrome_trace(), fh)
 
     # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Flat ``name -> value`` view of every instrument, sorted by name.
+
+        Names are namespaced by instrument family — ``counter.<name>``,
+        ``gauge.<name>``, ``latency.<stage>.<stat>`` and ``spans.count``
+        — so the flat map cannot collide across families.  The family
+        set and the per-stage stat set are fixed; the ``<name>`` parts
+        are statically known at every call site (pinned by the RPL040
+        metrics-hygiene lint), so the exposition is enumerable: the
+        same workload always produces the same name set.
+        """
+        with self._lock:
+            out: dict[str, object] = {}
+            for name, value in self._counters.items():
+                out[f"counter.{name}"] = value
+            for name, value in self._gauges.items():
+                out[f"gauge.{name}"] = value
+            for stage, hist in self._histograms.items():
+                for stat, value in hist.summary().items():
+                    out[f"latency.{stage}.{stat}"] = value
+            out["spans.count"] = len(self._spans)
+        return dict(sorted(out.items()))
+
+    def render_text(self) -> str:
+        """Plain-text exposition: one ``name value`` line per instrument.
+
+        The stable formatting contract shared by ``/v1/metrics`` and the
+        CLIs (so neither hand-rolls its own): names sorted, integers
+        rendered as integers, floats via ``repr`` (round-trippable),
+        one trailing newline.
+        """
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, float):
+                rendered = repr(value) if math.isfinite(value) else "0"
+            else:
+                rendered = str(value)
+            lines.append(f"{name} {rendered}")
+        return "\n".join(lines) + "\n"
+
     def report(self) -> dict:
         with self._lock:
             return {

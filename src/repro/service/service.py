@@ -304,6 +304,28 @@ class SolverService:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    def health(self) -> dict:
+        """Cheap liveness/pressure snapshot — no locks beyond the queue's.
+
+        This is the serving-layer admission hook: the API front door
+        polls it per request to decide whether to keep admitting work,
+        so it must stay O(1) — counters and gauges only, never a
+        factorization or a cache walk.
+        """
+        with self._cond:
+            queue_depth = len(self._queue)
+            accepting = not self._stop
+        return {
+            "status": "ok" if accepting else "stopped",
+            "accepting": accepting,
+            "workers": len(self._workers),
+            "queue_depth": queue_depth,
+            "cache_entries": len(self.cache),
+            "cache_bytes": self.cache.stored_bytes,
+            "cache_max_bytes": self.cache.max_bytes,
+            "cache_utilization": self.cache.stored_bytes / self.cache.max_bytes,
+        }
+
     def report(self) -> dict:
         """Merged metrics + cache statistics snapshot."""
         out = self.metrics.report()

@@ -590,3 +590,108 @@ class TestShadowVerification:
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError, match="shadow_verify_rate"):
             SolverService(n_workers=1, shadow_verify_rate=1.5)
+
+
+# ----------------------------------------------------------------------
+# health surfaces (serving-layer admission signals)
+# ----------------------------------------------------------------------
+class TestHealth:
+    def test_service_health_fields(self, lap2d_small):
+        with SolverService(n_workers=2, policy="P1") as svc:
+            svc.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+            h = svc.health()
+            assert h["status"] == "ok" and h["accepting"] is True
+            assert h["workers"] == 2
+            assert h["cache_entries"] >= 1
+            assert 0.0 < h["cache_utilization"] <= 1.0
+            assert h["cache_bytes"] <= h["cache_max_bytes"]
+        assert svc.health()["status"] == "stopped"
+        assert svc.health()["accepting"] is False
+
+    def test_fleet_health_rolls_up_shards(self, lap2d_small):
+        from repro.cluster.fleet import ShardedSolverService
+
+        fleet = ShardedSolverService(3, n_workers_per_node=1, policy="P1")
+        try:
+            fleet.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+            h = fleet.health()
+            assert h["status"] == "ok"
+            assert len(h["nodes"]) == 3
+            assert all(n["up"] for n in h["nodes"])
+            assert h["cache_bytes"] == sum(
+                n["cache_bytes"] for n in h["nodes"]
+            )
+        finally:
+            fleet.shutdown()
+
+    def test_fleet_health_degraded_when_a_node_is_down(self, lap2d_small):
+        from repro.cluster.fleet import ShardedSolverService
+
+        fleet = ShardedSolverService(2, n_workers_per_node=1, policy="P1")
+        try:
+            fleet.router.mark_down(0)
+            h = fleet.health()
+            assert h["status"] == "degraded"
+            assert [n["up"] for n in h["nodes"]] == [False, True]
+        finally:
+            fleet.shutdown()
+
+
+# ----------------------------------------------------------------------
+# metrics exposition (names are a monitoring contract)
+# ----------------------------------------------------------------------
+class TestMetricsExposition:
+    def test_snapshot_names_are_stable(self):
+        """Downstream dashboards key on these prefixes; renaming them is
+        a breaking change (and RPL040 statically pins literal names)."""
+        m = ServiceMetrics()
+        m.incr("submitted")
+        m.gauge("queue_depth", 3)
+        m.observe("total", 0.25)
+        snap = m.snapshot()
+        assert snap["counter.submitted"] == 1
+        assert snap["gauge.queue_depth"] == 3
+        assert snap["gauge.queue_depth_max"] == 3
+        assert snap["latency.total.count"] == 1
+        assert snap["spans.count"] == 0
+        assert list(snap) == sorted(snap)
+        prefixes = {name.split(".", 1)[0] for name in snap}
+        assert prefixes <= {"counter", "gauge", "latency", "spans"}
+
+    def test_render_text_one_line_per_instrument(self):
+        m = ServiceMetrics()
+        m.incr("completed", 2)
+        text = m.render_text()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "counter.completed 2" in lines
+        for line in lines:
+            name, _, value = line.partition(" ")
+            assert name and value
+        # rendering is itself deterministic
+        assert m.render_text() == text
+
+    def test_snapshot_matches_report_counters(self, lap2d_small):
+        with SolverService(n_workers=1, policy="P1") as svc:
+            svc.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+        snap = svc.metrics.snapshot()
+        rep = svc.report()
+        for name, value in rep["counters"].items():
+            assert snap[f"counter.{name}"] == value
+
+
+# ----------------------------------------------------------------------
+# deadline regression: a timed-out request must never warm the cache
+# ----------------------------------------------------------------------
+class TestTimeoutCacheIsolation:
+    def test_timed_out_request_is_never_cached(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        with SolverService(n_workers=1, policy="P1") as svc:
+            req = svc.submit(lap2d_small, b, timeout=-1.0)
+            with pytest.raises(TimeoutError):
+                req.result(timeout=60)
+            assert len(svc.cache) == 0      # expiry preceded factorization
+            # the same matrix later is a clean miss, not a stale hit
+            out = svc.solve(lap2d_small, b)
+            assert out.tier == "miss"
+            assert svc.metrics.counter("timeouts") == 1
