@@ -252,6 +252,10 @@ class ApiApp:
             return self._healthz(rid)
         if tail == "metrics":
             self._require(method, "GET")
+            # gauge mirrors (tier occupancy, shard rollups) are exported
+            # on health() — refresh them so a bare scrape sees current
+            # values rather than the last health check's
+            self.service.health()
             return Response(
                 200, self.metrics.render_text().encode(),
                 {"content-type": "text/plain; charset=utf-8"},

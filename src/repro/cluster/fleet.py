@@ -23,6 +23,16 @@ Fleet-level :class:`~repro.service.metrics.ServiceMetrics` aggregate
 per-node request counts and busy seconds, routing decisions, failovers,
 and modeled interconnect bytes (request/response shipping priced by
 :class:`~repro.cluster.topology.InterconnectParams`).
+
+With a ``tiering`` config the fleet also shares factors across shards:
+every shard's :class:`~repro.service.tiers.TieredFactorCache` chains
+onto one fleet-wide *shared* object tier (an eviction on shard A can be
+promoted by shard B), and on a local numeric miss the router probes
+peer shards' private tiers.  A hit there is fetched over the
+interconnect only when the modeled transfer is cheaper than
+refactorizing locally (``interconnect.time(nbytes) <
+produce_seconds``) — the same cost-model discipline the paper applies
+to its P1–P4 policy selection.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from repro.cluster.topology import InterconnectParams
 from repro.service.keys import matrix_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import SolveOutcome, SolverService
+from repro.service.tiers import TierConfig
 
 __all__ = ["ShardRouter", "ShardedSolverService"]
 
@@ -117,9 +128,22 @@ class ShardedSolverService:
         routing probe of a node consumes one attempt, so rate-driven
         faults are deterministic in request order.
     interconnect : InterconnectParams, optional
-        Prices the request/response bytes a routed solve ships.
+        Prices the request/response bytes a routed solve ships (and a
+        peer-fetched factor's transfer when tiering is on).
     metrics : ServiceMetrics, optional
         Fleet-level metrics sink (per-node counters, failovers, bytes).
+    tiering : TierConfig, optional
+        Build every shard's cache as a :class:`~repro.service.tiers.
+        TieredFactorCache` whose object tier is one *shared*
+        :class:`~repro.service.tiers.StorageTier` spanning the fleet.
+        ``max_cache_bytes`` is ignored in favour of
+        ``tiering.ram_bytes``.
+    peer_fetch : {"cost-model", "always", "off"}
+        Cross-shard factor sharing on a local numeric miss (requires
+        ``tiering``).  ``cost-model`` fetches a peer's factor over the
+        interconnect only when the modeled transfer beats the factor's
+        own (simulated) production time; ``always`` fetches
+        unconditionally; ``off`` disables peer probing.
     """
 
     def __init__(
@@ -135,13 +159,24 @@ class ShardedSolverService:
         interconnect: InterconnectParams | None = None,
         metrics: ServiceMetrics | None = None,
         cluster=None,
+        tiering: TierConfig | None = None,
+        peer_fetch: str = "cost-model",
     ):
+        if peer_fetch not in ("cost-model", "always", "off"):
+            raise ValueError(
+                "peer_fetch must be 'cost-model', 'always' or 'off', "
+                f"got {peer_fetch!r}"
+            )
         self.router = ShardRouter(n_nodes)
         self.node_faults = node_faults
         self.interconnect = (
             interconnect if interconnect is not None else InterconnectParams()
         )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.peer_fetch = peer_fetch
+        self.shared_tier = (
+            tiering.build_shared_tier() if tiering is not None else None
+        )
         self.shards = [
             SolverService(
                 n_workers=n_workers_per_node,
@@ -150,6 +185,11 @@ class ShardedSolverService:
                 ordering=ordering,
                 max_cache_bytes=max_cache_bytes,
                 cluster=cluster,
+                cache=(
+                    tiering.build(shared=self.shared_tier)
+                    if tiering is not None
+                    else None
+                ),
             )
             for _ in range(n_nodes)
         ]
@@ -196,6 +236,7 @@ class ShardedSolverService:
                 self.router.mark_down(node)
                 self.metrics.incr("nodes_marked_down")
                 continue
+            self._maybe_peer_fetch(node, a, policy=kwargs.get("policy"))
             outcome = self.shards[node].solve(a, b, **kwargs)
             if node != primary:
                 outcome.degraded = True
@@ -206,6 +247,48 @@ class ShardedSolverService:
             self._refresh_busy(node)
             return outcome
         raise RuntimeError("no healthy nodes left in the fleet")
+
+    def _maybe_peer_fetch(self, node: int, a, *, policy=None) -> None:
+        """On a local numeric miss, probe peer shards and import their
+        factor when the modeled interconnect transfer beats a local
+        refactorization (``peer_fetch="always"`` skips the cost test).
+
+        Only peers' *private* tiers matter here: a factor already in
+        the fleet's shared object tier is visible to ``node``'s own
+        cache chain and will be promoted by its normal lookup path.
+        """
+        if self.peer_fetch == "off":
+            return
+        shard = self.shards[node]
+        cache = shard.cache
+        if not hasattr(cache, "peek_numeric_entry"):
+            return  # plain FactorizationCache fleet: nothing to probe
+        _, num_key = shard.keys_for(a, policy=policy)
+        if cache.has_numeric(num_key):
+            return
+        for peer in self.router.healthy_nodes():
+            if peer == node:
+                continue
+            peer_cache = self.shards[peer].cache
+            peek = getattr(peer_cache, "peek_numeric_entry", None)
+            if peek is None:
+                continue
+            entry = peek(num_key)
+            if entry is None:
+                continue
+            fetch_seconds = self.interconnect.time(entry.nbytes)
+            if (
+                self.peer_fetch != "always"
+                and fetch_seconds >= entry.produce_seconds
+            ):
+                self.metrics.incr("peer_fetch_declined")
+                return
+            cache.put_numeric(num_key, entry.payload, nbytes=entry.nbytes)
+            self.metrics.incr("peer_fetches")
+            self.metrics.incr("peer_fetch_bytes", int(entry.nbytes))
+            self.metrics.incr(f"node{node}.peer_fetches")
+            self.metrics.observe("peer_fetch", fetch_seconds)
+            return
 
     def _account_transfer(self, node: int, canonical, b, outcome) -> None:
         """Modeled interconnect cost of shipping the request and reply."""
@@ -276,7 +359,7 @@ class ShardedSolverService:
             status = "degraded"
         else:
             status = "ok"
-        return {
+        out = {
             "status": status,
             "accepting": n_up > 0,
             "nodes_up": n_up,
@@ -287,6 +370,28 @@ class ShardedSolverService:
             "cache_utilization": utilization,
             "nodes": nodes,
         }
+        if self.shared_tier is not None:
+            out["shared_tier"] = self._shared_tier_info()
+        return out
+
+    def _shared_tier_info(self) -> dict:
+        """Occupancy + movement counters of the fleet-wide object tier,
+        mirrored into fleet gauges so they ride ``/v1/metrics``."""
+        t = self.shared_tier
+        info = {
+            "name": t.name,
+            "resident_bytes": int(t.resident_bytes),
+            "capacity_bytes": int(t.spec.capacity_bytes),
+            "entries": len(t),
+            "read_seconds": t.read_seconds,
+            "write_seconds": t.write_seconds,
+            **t.stats,
+        }
+        for stat, value in sorted(info.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.metrics.gauge(f"tier.shared.{stat}", value)
+        return info
 
     def report(self) -> dict:
         """Fleet metrics plus every shard's own report."""
@@ -295,4 +400,6 @@ class ShardedSolverService:
             "healthy_nodes": self.router.healthy_nodes(),
             "nodes": [shard.report() for shard in self.shards],
         }
+        if self.shared_tier is not None:
+            out["shared_tier"] = self._shared_tier_info()
         return out

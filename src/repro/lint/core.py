@@ -184,6 +184,7 @@ class LintConfig:
         "repro.verify",
         "repro.bench",
         "repro.cluster",
+        "repro.service.tiers",
     )
     #: modules whose functions feed cache keys (plus any ``*_key`` fn)
     key_modules: tuple[str, ...] = ("repro.service.keys",)

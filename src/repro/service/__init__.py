@@ -7,6 +7,9 @@ observation that a factorization can be amortized over many solves:
 * :mod:`repro.service.keys` — canonical pattern/values hashes of a matrix;
 * :mod:`repro.service.cache` — two-tier (symbolic / numeric) LRU cache
   bounded by an estimated-bytes budget;
+* :mod:`repro.service.tiers` — the simulated storage hierarchy behind
+  it: RAM → local disk → shared object tier with policy-driven
+  placement/TTL/transfer and modeled byte movement;
 * :mod:`repro.service.batching` — multi-RHS aggregation of requests that
   share a cached factor;
 * :mod:`repro.service.service` — the concurrent :class:`SolverService`
@@ -31,8 +34,20 @@ from repro.service.keys import (
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.service import SolveOutcome, SolveRequest, SolverService
+from repro.service.tiers import (
+    ManualClock,
+    StorageTier,
+    TierConfig,
+    TieredFactorCache,
+    TierSpec,
+)
 
 __all__ = [
+    "ManualClock",
+    "StorageTier",
+    "TierConfig",
+    "TieredFactorCache",
+    "TierSpec",
     "BatchPlan",
     "CacheLookup",
     "FactorizationCache",

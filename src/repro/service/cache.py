@@ -145,10 +145,29 @@ class FactorizationCache:
             self.stored_bytes += nbytes
             self.stats["insertions"] += 1
             while self.stored_bytes > self.max_bytes:
-                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                key, (victim, evicted_bytes) = self._entries.popitem(
+                    last=False
+                )
                 self.stored_bytes -= evicted_bytes
                 self.stats["evictions"] += 1
+                self._on_evict(key, victim, evicted_bytes)
             return True
+
+    def _on_evict(self, full_key, payload, nbytes: int) -> None:
+        """Eviction hook, called under the lock for every LRU victim.
+
+        The base cache drops the entry (the payload is simply garbage
+        once this returns); :class:`~repro.service.tiers.
+        TieredFactorCache` overrides this to spill it down the storage
+        hierarchy instead.
+        """
+
+    def peek_numeric(self, key: str):
+        """The numeric payload for ``key`` without touching recency or
+        stats (tiered subclasses also search their lower tiers)."""
+        with self._lock:
+            entry = self._entries.get((self.NUMERIC, key))
+            return entry[0] if entry is not None else None
 
     # -- introspection -----------------------------------------------------
     @property

@@ -47,6 +47,7 @@ from repro.policies.base import Policy
 from repro.service.batching import BatchPlan
 from repro.service.cache import FactorizationCache
 from repro.service.keys import matrix_key
+from repro.service.tiers import TierConfig
 from repro.service.metrics import ServiceMetrics
 from repro.symbolic.supernodes import AmalgamationParams
 
@@ -140,6 +141,12 @@ class SolverService:
     cache : FactorizationCache, optional
         Shared cache instance; by default a fresh one bounded by
         ``max_cache_bytes``.
+    tiering : TierConfig, optional
+        Build the cache as a :class:`~repro.service.tiers.
+        TieredFactorCache` (RAM → disk → object store with
+        policy-driven spill/promote) instead of the flat LRU.
+        Mutually exclusive with ``cache``; ``max_cache_bytes`` is
+        ignored in favour of ``tiering.ram_bytes``.
     batch_window : float
         Extra seconds a worker waits for more same-factor requests to
         arrive before solving (already-queued matches are always taken).
@@ -172,6 +179,7 @@ class SolverService:
         ordering: str = "amd",
         amalgamation: AmalgamationParams | None = None,
         cache: FactorizationCache | None = None,
+        tiering: TierConfig | None = None,
         max_cache_bytes: int = 256 << 20,
         batch_window: float = 0.0,
         max_batch: int = 32,
@@ -203,9 +211,14 @@ class SolverService:
         self._shadow_lock = threading.Lock()
         self.ordering = ordering
         self.amalgamation = amalgamation
-        self.cache = cache if cache is not None else FactorizationCache(
-            max_bytes=max_cache_bytes
-        )
+        if cache is not None and tiering is not None:
+            raise ValueError("pass either cache or tiering, not both")
+        if cache is not None:
+            self.cache = cache
+        elif tiering is not None:
+            self.cache = tiering.build()
+        else:
+            self.cache = FactorizationCache(max_bytes=max_cache_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
@@ -264,15 +277,13 @@ class SolverService:
                 f"({canonical.n_rows}, nrhs), got {b.shape}"
             )
         spec = policy if policy is not None else self.policy
+        sym_key, num_key = self._derive_keys(key, spec)
         with self._cond:
             self._next_id += 1
             req = SolveRequest(
                 self._next_id, a, canonical, b,
-                sym_key=f"{key.pattern}|ord={self.ordering}|{self._amalg_tag}",
-                num_key=(
-                    f"{key.values}|ord={self.ordering}"
-                    f"|pol={self._policy_tag(spec)}"
-                ),
+                sym_key=sym_key,
+                num_key=num_key,
                 policy_spec=spec,
                 refine=refine, tol=tol, max_iter=max_iter,
                 deadline=None if timeout is None else now + timeout,
@@ -288,6 +299,20 @@ class SolverService:
     def solve(self, a, b, **kwargs) -> SolveOutcome:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(a, b, **kwargs).result()
+
+    def _derive_keys(self, key, spec) -> tuple[str, str]:
+        return (
+            f"{key.pattern}|ord={self.ordering}|{self._amalg_tag}",
+            f"{key.values}|ord={self.ordering}|pol={self._policy_tag(spec)}",
+        )
+
+    def keys_for(self, a, *, policy=None) -> tuple[str, str]:
+        """The (symbolic, numeric) cache keys a submit of ``a`` would
+        use — the fleet router derives peer-probe keys through this so
+        they can never drift from the service's own."""
+        key, _ = matrix_key(a)
+        spec = policy if policy is not None else self.policy
+        return self._derive_keys(key, spec)
 
     def shutdown(self, *, wait: bool = True) -> None:
         """Stop accepting work; workers drain the queue, then exit."""
@@ -315,7 +340,7 @@ class SolverService:
         with self._cond:
             queue_depth = len(self._queue)
             accepting = not self._stop
-        return {
+        out = {
             "status": "ok" if accepting else "stopped",
             "accepting": accepting,
             "workers": len(self._workers),
@@ -325,6 +350,36 @@ class SolverService:
             "cache_max_bytes": self.cache.max_bytes,
             "cache_utilization": self.cache.stored_bytes / self.cache.max_bytes,
         }
+        tier_stats = getattr(self.cache, "tier_stats", None)
+        if tier_stats is not None:
+            tiers = tier_stats()
+            out["cache_resident_bytes"] = self.cache.total_resident_bytes()
+            out["cache_tiers"] = {
+                name: {
+                    "resident_bytes": st["resident_bytes"],
+                    "capacity_bytes": st["capacity_bytes"],
+                    "entries": st["entries"],
+                }
+                for name, st in tiers.items()
+            }
+            self._export_tier_gauges(tiers)
+        return out
+
+    def _export_tier_gauges(self, tiers: dict) -> None:
+        """Mirror per-tier cache counters into :class:`ServiceMetrics`
+        gauges so they ride the ``/v1/metrics`` exposition.  Tier names
+        come from the fixed ``ram/disk/object`` set, so cardinality is
+        bounded; the ``tier.`` prefix keeps the names enumerable."""
+        for name, st in sorted(tiers.items()):
+            for stat, value in sorted(st.items()):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                self.metrics.gauge(f"tier.{name}.{stat}", value)
+        self.metrics.gauge(
+            "tier.transfer_seconds", self.cache.transfer_seconds
+        )
 
     def report(self) -> dict:
         """Merged metrics + cache statistics snapshot."""
@@ -334,6 +389,14 @@ class SolverService:
         out["cache"]["entries"] = len(self.cache)
         out["cache"]["pattern_hit_rate"] = self.cache.pattern_hit_rate
         out["cache"]["numeric_hit_rate"] = self.cache.numeric_hit_rate
+        tier_stats = getattr(self.cache, "tier_stats", None)
+        if tier_stats is not None:
+            tiers = tier_stats()
+            self._export_tier_gauges(tiers)
+            out["cache"]["tiers"] = tiers
+            out["cache"]["ledger"] = dict(self.cache.ledger)
+            out["cache"]["transfer_seconds"] = self.cache.transfer_seconds
+            out["gauges"] = dict(self.metrics.report()["gauges"])
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,909 @@
+"""Tiered factor cache: RAM → local disk → shared object store.
+
+The paper's reuse argument — "the potential for reusing the
+factorization when solving multiple systems with the same coefficient
+matrix" — is only as good as the cache that holds the factors.  At
+fleet scale the hot set does not fit one RAM budget, and every LRU
+eviction of :class:`~repro.service.cache.FactorizationCache` silently
+became a future full refactorization.  This module turns that cliff
+into a slope: a simulated storage hierarchy where evicted factors
+**spill down** (RAM → local disk → shared object tier) instead of
+being dropped, and reads **pull up** through the tiers, every movement
+priced by the same ``latency + bytes / bandwidth`` virtual-cost model
+the cluster interconnect uses (:mod:`repro.cluster.topology`).
+
+Everything below RAM is *simulated* storage: payloads stay in process
+memory, but capacity, bandwidth and latency are modeled per tier, so
+the serving layer experiences — and the benchmarks can pin — the
+byte movement and transfer time a real hierarchy would cost.
+
+Three pluggable policy families, each a named registry (mirroring the
+``placement_policy`` / ``transfer_policy`` pattern the ROADMAP names):
+
+* **placement** — what happens to an entry evicted from a tier:
+  ``spill`` (always move it one tier down), ``drop`` (the legacy
+  drop-on-evict behaviour; the bench baseline), ``spill-threshold``
+  (spill only when the modeled write cost is repaid by the modeled
+  cost of recomputing the factor — the P1–P4-style cost-model
+  discipline applied to storage);
+* **transfer** — what happens on a lower-tier hit: ``pull-on-read``
+  (promote to RAM), ``read-through`` (serve in place, refresh
+  recency), ``cheapest-transfer`` (promote only when RAM has free
+  headroom, so the promotion never triggers an eviction cascade);
+* **ttl** — ``no-ttl`` or ``fixed-ttl`` expiry off an injectable
+  clock (entries older than ``ttl_seconds`` are lazily expired at
+  lookup, never served).
+
+:class:`TieredFactorCache` subclasses
+:class:`~repro.service.cache.FactorizationCache` — the base class *is*
+the RAM tier — so it drops into :class:`~repro.service.SolverService`
+unchanged.  A byte ledger backs the conservation invariant the
+property tests pin: every byte ever inserted is either resident in
+some tier, dropped (with a counted reason), or exported to a shared
+tier (imports count symmetrically), and no tier ever holds more than
+its budget.
+
+The shared object tier is how a fleet shares factors: every shard's
+cache chains onto one :class:`StorageTier` (``shared=True``), so a
+factor spilled by shard A is readable — and promotable — by shard B
+(see :class:`repro.cluster.fleet.ShardedSolverService`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.service.cache import CacheLookup, FactorizationCache
+
+__all__ = [
+    "TierSpec",
+    "TierEntry",
+    "StorageTier",
+    "TierConfig",
+    "TieredFactorCache",
+    "ManualClock",
+    "PlacementPolicy",
+    "TransferPolicy",
+    "TtlPolicy",
+    "PLACEMENT_POLICIES",
+    "TRANSFER_POLICIES",
+    "TTL_POLICIES",
+    "make_placement_policy",
+    "make_transfer_policy",
+    "make_ttl_policy",
+    "default_disk_spec",
+    "default_object_spec",
+]
+
+
+# ----------------------------------------------------------------------
+# tier model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TierSpec:
+    """Shape of one storage tier: capacity plus a transfer-cost model.
+
+    ``transfer_time`` prices one read *or* write of ``nbytes`` —
+    the same ``latency + bytes / bandwidth`` form as
+    :class:`~repro.cluster.topology.InterconnectParams`, riding the
+    virtual clock rather than the wall clock.
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float               # bytes/s
+    latency: float                 # seconds per access
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"tier {self.name!r}: capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError(f"tier {self.name!r}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"tier {self.name!r}: latency must be >= 0")
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+def default_disk_spec(capacity_bytes: int = 1 << 30) -> TierSpec:
+    """Local-disk tier defaults (~2011-era SSD: 500 MB/s, 5 ms seek)."""
+    return TierSpec("disk", capacity_bytes, bandwidth=5e8, latency=5e-3)
+
+
+def default_object_spec(capacity_bytes: int = 8 << 30) -> TierSpec:
+    """Shared object-store defaults (network hop: 250 MB/s, 50 ms)."""
+    return TierSpec("object", capacity_bytes, bandwidth=2.5e8, latency=5e-2)
+
+
+@dataclass
+class TierEntry:
+    """One resident entry of a below-RAM tier."""
+
+    payload: object
+    nbytes: int
+    inserted_at: float             # injectable-clock timestamp
+    produce_seconds: float = 0.0   # modeled cost of recomputing the payload
+
+
+class StorageTier:
+    """One simulated below-RAM tier: LRU entries under a byte budget.
+
+    The tier has its own reentrant lock so a *shared* tier can be
+    chained under several :class:`TieredFactorCache` instances (one
+    per fleet shard) — the composite cache always acquires its own
+    lock first, then the tier's, a fixed order with no cycles.
+    """
+
+    def __init__(self, spec: TierSpec, *, shared: bool = False):
+        self.spec = spec
+        self.shared = shared
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple[str, str], TierEntry] = OrderedDict()
+        self.resident_bytes = 0
+        self.read_seconds = 0.0
+        self.write_seconds = 0.0
+        self.stats: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "insertions": 0,
+            "evictions": 0,
+            "expired": 0,
+            "rejected_oversize": 0,
+            "read_bytes": 0,
+            "write_bytes": 0,
+        }
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def peek(self, full_key) -> TierEntry | None:
+        """Entry for ``full_key`` without touching recency or stats."""
+        with self._lock:
+            return self._entries.get(full_key)
+
+    def touch(self, full_key) -> None:
+        with self._lock:
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+
+    def put(
+        self, full_key, entry: TierEntry
+    ) -> tuple[bool, list[tuple[tuple[str, str], TierEntry]]]:
+        """Insert ``entry``; returns ``(accepted, lru_evicted)``.
+
+        An entry larger than the whole tier is rejected (``accepted``
+        False).  Otherwise cold entries are LRU-evicted until the new
+        one fits; the caller decides their fate (spill further down or
+        drop) — the tier itself never destroys bytes silently.
+        """
+        with self._lock:
+            if entry.nbytes > self.spec.capacity_bytes:
+                self.stats["rejected_oversize"] += 1
+                return False, []
+            old = self._entries.pop(full_key, None)
+            if old is not None:
+                self.resident_bytes -= old.nbytes
+            evicted: list[tuple[tuple[str, str], TierEntry]] = []
+            while (
+                self.resident_bytes + entry.nbytes > self.spec.capacity_bytes
+            ):
+                key, cold = self._entries.popitem(last=False)
+                self.resident_bytes -= cold.nbytes
+                self.stats["evictions"] += 1
+                evicted.append((key, cold))
+            self._entries[full_key] = entry
+            self.resident_bytes += entry.nbytes
+            self.stats["insertions"] += 1
+            self.write_seconds += self.spec.transfer_time(entry.nbytes)
+            self.stats["write_bytes"] += entry.nbytes
+            return True, evicted
+
+    def remove(self, full_key) -> TierEntry | None:
+        with self._lock:
+            entry = self._entries.pop(full_key, None)
+            if entry is not None:
+                self.resident_bytes -= entry.nbytes
+            return entry
+
+    def account_read(self, nbytes: int) -> float:
+        """Record one modeled read; returns the transfer seconds."""
+        seconds = self.spec.transfer_time(nbytes)
+        with self._lock:
+            self.read_seconds += seconds
+            self.stats["read_bytes"] += nbytes
+        return seconds
+
+    def keys(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> list[TierEntry]:
+        with self._lock:
+            dropped = list(self._entries.values())
+            self._entries.clear()
+            self.resident_bytes = 0
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StorageTier({self.name!r}, entries={len(self)}, "
+            f"bytes={self.resident_bytes}/{self.spec.capacity_bytes})"
+        )
+
+
+# ----------------------------------------------------------------------
+# policy registries
+# ----------------------------------------------------------------------
+class PlacementPolicy:
+    """Decides whether an evicted entry may land on a candidate tier."""
+
+    name = "placement"
+
+    def should_spill(
+        self, full_key, entry: TierEntry, tier: StorageTier
+    ) -> bool:
+        raise NotImplementedError
+
+
+class TransferPolicy:
+    """Decides whether a lower-tier hit is promoted back to RAM."""
+
+    name = "transfer"
+
+    def should_promote(
+        self,
+        full_key,
+        entry: TierEntry,
+        tier: StorageTier,
+        cache: "TieredFactorCache",
+    ) -> bool:
+        raise NotImplementedError
+
+
+class TtlPolicy:
+    """Decides whether an entry has aged out."""
+
+    name = "ttl"
+
+    def expired(self, inserted_at: float, now: float) -> bool:
+        raise NotImplementedError
+
+
+PLACEMENT_POLICIES: dict[str, Callable[..., PlacementPolicy]] = {}
+TRANSFER_POLICIES: dict[str, Callable[..., TransferPolicy]] = {}
+TTL_POLICIES: dict[str, Callable[..., TtlPolicy]] = {}
+
+
+def _register(registry: dict, name: str):
+    def deco(factory):
+        if name in registry:
+            raise ValueError(f"duplicate policy {name!r}")
+        registry[name] = factory
+        factory.name = name
+        return factory
+
+    return deco
+
+
+def _resolve(registry: dict, spec, base: type, kind: str, **kwargs):
+    if isinstance(spec, base):
+        return spec
+    factory = registry.get(spec)
+    if factory is None:
+        raise KeyError(
+            f"unknown {kind} policy {spec!r}; "
+            f"known: {', '.join(sorted(registry))}"
+        )
+    return factory(**kwargs)
+
+
+def make_placement_policy(spec, **kwargs) -> PlacementPolicy:
+    return _resolve(PLACEMENT_POLICIES, spec, PlacementPolicy, "placement",
+                    **kwargs)
+
+
+def make_transfer_policy(spec, **kwargs) -> TransferPolicy:
+    return _resolve(TRANSFER_POLICIES, spec, TransferPolicy, "transfer",
+                    **kwargs)
+
+
+def make_ttl_policy(spec, **kwargs) -> TtlPolicy:
+    return _resolve(TTL_POLICIES, spec, TtlPolicy, "ttl", **kwargs)
+
+
+@_register(PLACEMENT_POLICIES, "spill")
+class SpillPlacement(PlacementPolicy):
+    """Always spill an evicted entry to the next tier that fits it."""
+
+    def should_spill(self, full_key, entry, tier) -> bool:
+        return True
+
+
+@_register(PLACEMENT_POLICIES, "drop")
+class DropPlacement(PlacementPolicy):
+    """Legacy drop-on-evict: nothing ever spills (the bench baseline)."""
+
+    def should_spill(self, full_key, entry, tier) -> bool:
+        return False
+
+
+@_register(PLACEMENT_POLICIES, "spill-threshold")
+class ThresholdPlacement(PlacementPolicy):
+    """Spill only when the write cost is repaid by the recompute cost.
+
+    The storage analog of the paper's P1–P4 selection: the modeled
+    write time to the candidate tier must not exceed
+    ``spill_factor x`` the modeled cost of reproducing the entry
+    (``produce_seconds``, the factorization's simulated makespan).  An
+    entry whose recompute cost is unknown (0 — e.g. a symbolic factor)
+    is always spilled: dropping it can only lose.
+    """
+
+    def __init__(self, *, spill_factor: float = 1.0):
+        if spill_factor <= 0:
+            raise ValueError("spill_factor must be positive")
+        self.spill_factor = float(spill_factor)
+
+    def should_spill(self, full_key, entry, tier) -> bool:
+        if entry.produce_seconds <= 0.0:
+            return True
+        write_time = tier.spec.transfer_time(entry.nbytes)
+        return write_time <= self.spill_factor * entry.produce_seconds
+
+
+@_register(TRANSFER_POLICIES, "pull-on-read")
+class PullOnRead(TransferPolicy):
+    """Every lower-tier hit is promoted to RAM (if it fits at all)."""
+
+    def should_promote(self, full_key, entry, tier, cache) -> bool:
+        return entry.nbytes <= cache.max_bytes
+
+
+@_register(TRANSFER_POLICIES, "read-through")
+class ReadThrough(TransferPolicy):
+    """Serve lower-tier hits in place; only recency is refreshed."""
+
+    def should_promote(self, full_key, entry, tier, cache) -> bool:
+        return False
+
+
+@_register(TRANSFER_POLICIES, "cheapest-transfer")
+class CheapestTransfer(TransferPolicy):
+    """Promote only into free RAM headroom.
+
+    A promotion that forces RAM evictions pays the read *plus* a
+    cascade of spill writes; the cheapest overall movement is to
+    promote only when the entry fits the currently free budget, and
+    serve in place otherwise.
+    """
+
+    def should_promote(self, full_key, entry, tier, cache) -> bool:
+        return entry.nbytes <= cache.max_bytes - cache.stored_bytes
+
+
+@_register(TTL_POLICIES, "no-ttl")
+class NoTtl(TtlPolicy):
+    def expired(self, inserted_at, now) -> bool:
+        return False
+
+
+@_register(TTL_POLICIES, "fixed-ttl")
+class FixedTtl(TtlPolicy):
+    """Entries older than ``ttl_seconds`` (injectable clock) are dead."""
+
+    def __init__(self, *, ttl_seconds: float = 3600.0):
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.ttl_seconds = float(ttl_seconds)
+
+    def expired(self, inserted_at, now) -> bool:
+        return now - inserted_at >= self.ttl_seconds
+
+
+# ----------------------------------------------------------------------
+# clock
+# ----------------------------------------------------------------------
+class ManualClock:
+    """Deterministic injectable clock for TTL policies and tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+
+    def now(self) -> float:
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+
+def _zero_clock() -> float:
+    """Default clock: time never passes, so nothing ever expires."""
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# configuration bundle
+# ----------------------------------------------------------------------
+@dataclass
+class TierConfig:
+    """Everything needed to build one :class:`TieredFactorCache`.
+
+    ``disk`` / ``object_store`` may be None to omit that tier; the
+    fleet replaces ``object_store`` with one *shared*
+    :class:`StorageTier` chained under every shard.
+    """
+
+    ram_bytes: int = 256 << 20
+    disk: TierSpec | None = field(default_factory=default_disk_spec)
+    object_store: TierSpec | None = field(default_factory=default_object_spec)
+    placement: str | PlacementPolicy = "spill"
+    transfer: str | TransferPolicy = "pull-on-read"
+    ttl: str | TtlPolicy = "no-ttl"
+    ttl_seconds: float | None = None
+    clock: Callable[[], float] | None = None
+
+    def build(
+        self, *, shared: StorageTier | None = None
+    ) -> "TieredFactorCache":
+        lower: list[StorageTier] = []
+        if self.disk is not None:
+            lower.append(StorageTier(self.disk))
+        if shared is not None:
+            lower.append(shared)
+        elif self.object_store is not None:
+            lower.append(StorageTier(self.object_store))
+        ttl = self.ttl
+        if self.ttl_seconds is not None and not isinstance(ttl, TtlPolicy):
+            ttl = make_ttl_policy("fixed-ttl", ttl_seconds=self.ttl_seconds)
+        return TieredFactorCache(
+            max_bytes=self.ram_bytes,
+            lower_tiers=lower,
+            placement=self.placement,
+            transfer=self.transfer,
+            ttl=ttl,
+            clock=self.clock,
+        )
+
+    def build_shared_tier(self) -> StorageTier:
+        """The fleet-wide object tier every shard chains onto."""
+        spec = (
+            self.object_store
+            if self.object_store is not None
+            else default_object_spec()
+        )
+        return StorageTier(spec, shared=True)
+
+
+# ----------------------------------------------------------------------
+# the tiered cache
+# ----------------------------------------------------------------------
+class TieredFactorCache(FactorizationCache):
+    """RAM LRU (the base class) chained over simulated lower tiers.
+
+    Drop-in for :class:`FactorizationCache`: ``lookup`` /
+    ``put_symbolic`` / ``put_numeric`` / ``stats`` keep their
+    semantics, with ``stored_bytes`` / ``max_bytes`` describing the
+    RAM tier (the quantity admission control cares about).  Beyond
+    that:
+
+    * RAM evictions route through the placement policy and spill down
+      instead of dropping;
+    * lookups fall through RAM to each lower tier in order, account
+      the modeled read, and promote per the transfer policy;
+    * every entry carries an injectable-clock timestamp checked
+      against the TTL policy at read time (lazy expiry);
+    * a byte ledger (``bytes_inserted`` / ``bytes_dropped`` /
+      ``bytes_exported`` / ``bytes_imported``) makes conservation an
+      assertable invariant.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = 256 << 20,
+        lower_tiers: list[StorageTier] | None = None,
+        placement: str | PlacementPolicy = "spill",
+        transfer: str | TransferPolicy = "pull-on-read",
+        ttl: str | TtlPolicy = "no-ttl",
+        clock: Callable[[], float] | None = None,
+    ):
+        super().__init__(max_bytes=max_bytes)
+        self._lower = list(lower_tiers) if lower_tiers else []
+        names = ["ram"] + [t.name for t in self._lower]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        self.placement = make_placement_policy(placement)
+        self.transfer = make_transfer_policy(transfer)
+        self.ttl = make_ttl_policy(ttl)
+        self._clock = clock if clock is not None else _zero_clock
+        #: RAM-entry timestamps (lower tiers stamp their TierEntry)
+        self._ram_inserted_at: dict[tuple[str, str], float] = {}
+        self.ledger: dict[str, int] = {
+            "bytes_inserted": 0,
+            "bytes_dropped": 0,
+            "bytes_exported": 0,
+            "bytes_imported": 0,
+        }
+        self.transfer_seconds = 0.0
+        # per-tier movement counters, RAM included
+        self._ram_stats: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "expired": 0,
+            "promoted_in": 0,
+            "promoted_in_bytes": 0,
+            "spilled_out": 0,
+            "spilled_out_bytes": 0,
+            "dropped": 0,
+            "dropped_bytes": 0,
+        }
+        self._lower_moves: dict[str, dict[str, int]] = {
+            t.name: {
+                "spilled_in": 0,
+                "spilled_in_bytes": 0,
+                "promoted_out": 0,
+                "promoted_out_bytes": 0,
+                "dropped": 0,
+                "dropped_bytes": 0,
+            }
+            for t in self._lower
+        }
+        # reentrancy guard: promotions re-enter _put and must not be
+        # double-counted as external insertions
+        self._promoting = False
+
+    # -- tier plumbing -----------------------------------------------------
+    @property
+    def tiers(self) -> list[str]:
+        return ["ram"] + [t.name for t in self._lower]
+
+    def tier(self, name: str) -> StorageTier:
+        for t in self._lower:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier named {name!r} (have {self.tiers})")
+
+    def resident_bytes_by_tier(self) -> dict[str, int]:
+        with self._lock:
+            out = {"ram": int(self.stored_bytes)}
+            for t in self._lower:
+                out[t.name] = int(t.resident_bytes)
+            return out
+
+    def tier_stats(self) -> dict[str, dict[str, object]]:
+        """Per-tier counters for reports / metric exposition."""
+        with self._lock:
+            out: dict[str, dict[str, object]] = {
+                "ram": {
+                    "resident_bytes": int(self.stored_bytes),
+                    "capacity_bytes": int(self.max_bytes),
+                    "entries": len(self._entries),
+                    **self._ram_stats,
+                }
+            }
+            for t in self._lower:
+                out[t.name] = {
+                    "resident_bytes": int(t.resident_bytes),
+                    "capacity_bytes": int(t.spec.capacity_bytes),
+                    "entries": len(t),
+                    "shared": t.shared,
+                    "read_seconds": t.read_seconds,
+                    "write_seconds": t.write_seconds,
+                    **t.stats,
+                    **self._lower_moves[t.name],
+                }
+            return out
+
+    def total_resident_bytes(self) -> int:
+        with self._lock:
+            return self.stored_bytes + sum(
+                t.resident_bytes for t in self._lower
+            )
+
+    def total_entries(self) -> int:
+        with self._lock:
+            return len(self._entries) + sum(len(t) for t in self._lower)
+
+    # -- lookups -----------------------------------------------------------
+    def lookup(self, symbolic_key: str, numeric_key: str) -> CacheLookup:
+        with self._lock:
+            self.stats["lookups"] += 1
+            num = self._get_any((self.NUMERIC, numeric_key))
+            if num is not None:
+                self.stats["numeric_hits"] += 1
+                sym = self._get_any((self.SYMBOLIC, symbolic_key))
+                return CacheLookup(self.NUMERIC, symbolic=sym, numeric=num)
+            sym = self._get_any((self.SYMBOLIC, symbolic_key))
+            if sym is not None:
+                self.stats["symbolic_hits"] += 1
+                return CacheLookup(self.SYMBOLIC, symbolic=sym)
+            self.stats["misses"] += 1
+            return CacheLookup("miss")
+
+    def get_symbolic(self, key: str):
+        with self._lock:
+            return self._get_any((self.SYMBOLIC, key))
+
+    def get_numeric(self, key: str):
+        with self._lock:
+            return self._get_any((self.NUMERIC, key))
+
+    def peek_numeric_entry(self, key: str) -> TierEntry | None:
+        """The numeric entry for ``key`` in any tier — no recency
+        touch, no stats, no promotion.  The fleet's peer-probe hook."""
+        full_key = (self.NUMERIC, key)
+        with self._lock:
+            now = self._clock()
+            ram = self._entries.get(full_key)
+            if ram is not None:
+                inserted = self._ram_inserted_at.get(full_key, now)
+                if not self.ttl.expired(inserted, now):
+                    return TierEntry(
+                        ram[0], ram[1], inserted,
+                        self._produce_seconds(ram[0]),
+                    )
+            for t in self._lower:
+                entry = t.peek(full_key)
+                if entry is not None and not self.ttl.expired(
+                    entry.inserted_at, now
+                ):
+                    return entry
+            return None
+
+    def has_numeric(self, key: str) -> bool:
+        return self.peek_numeric_entry(key) is not None
+
+    def peek_numeric(self, key: str):
+        entry = self.peek_numeric_entry(key)
+        return entry.payload if entry is not None else None
+
+    def _get_any(self, full_key):
+        """Find ``full_key`` in RAM or below; expire, account, promote."""
+        now = self._clock()
+        if full_key in self._entries:
+            if self._expire_ram(full_key, now):
+                pass  # expired: fall through to the lower tiers
+            else:
+                self._ram_stats["hits"] += 1
+                return self._touch(full_key)
+        self._ram_stats["misses"] += 1
+        for i, t in enumerate(self._lower):
+            entry = t.peek(full_key)
+            if entry is None:
+                t.stats["misses"] += 1
+                continue
+            if self.ttl.expired(entry.inserted_at, now):
+                t.remove(full_key)
+                t.stats["expired"] += 1
+                self._ledger_drop(t, entry.nbytes, expiry=True)
+                continue
+            t.stats["hits"] += 1
+            self.transfer_seconds += t.account_read(entry.nbytes)
+            if self.transfer.should_promote(full_key, entry, t, self):
+                self._promote(full_key, entry, t)
+            else:
+                t.touch(full_key)
+            return entry.payload
+        return None
+
+    def _expire_ram(self, full_key, now: float) -> bool:
+        inserted = self._ram_inserted_at.get(full_key)
+        if inserted is None or not self.ttl.expired(inserted, now):
+            return False
+        payload, nbytes = self._entries.pop(full_key)
+        self.stored_bytes -= nbytes
+        self._ram_inserted_at.pop(full_key, None)
+        self._ram_stats["expired"] += 1
+        self._ram_stats["dropped"] += 1
+        self._ram_stats["dropped_bytes"] += nbytes
+        self.ledger["bytes_dropped"] += nbytes
+        return True
+
+    def _promote(self, full_key, entry: TierEntry, source: StorageTier):
+        """Move ``entry`` up from ``source`` into RAM (pull-on-read)."""
+        source.remove(full_key)
+        moves = self._lower_moves[source.name]
+        moves["promoted_out"] += 1
+        moves["promoted_out_bytes"] += entry.nbytes
+        if source.shared:
+            self.ledger["bytes_imported"] += entry.nbytes
+        self._ram_stats["promoted_in"] += 1
+        self._ram_stats["promoted_in_bytes"] += entry.nbytes
+        self._promoting = True
+        try:
+            super()._put(full_key, entry.payload, entry.nbytes)
+        finally:
+            self._promoting = False
+        self._ram_inserted_at[full_key] = entry.inserted_at
+
+    # -- insertion / spilling ----------------------------------------------
+    @staticmethod
+    def _produce_seconds(payload) -> float:
+        """Modeled cost of recomputing ``payload`` (0 when unknown).
+
+        Numeric factors carry their simulated factorization makespan;
+        that is exactly the refactorize side of the spill-vs-drop and
+        peer-fetch-vs-refactorize cost comparisons.
+        """
+        try:
+            return float(getattr(payload, "makespan", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
+
+    def _put(self, full_key, payload, nbytes: int) -> bool:
+        nbytes = int(nbytes)
+        with self._lock:
+            # a fresh external insert supersedes any stale lower-tier copy
+            for t in self._lower:
+                stale = t.remove(full_key)
+                if stale is not None:
+                    self._ledger_drop(t, stale.nbytes, expiry=False)
+            old = self._entries.get(full_key)
+            if old is not None:
+                # overwrite: the replaced bytes leave the cache — evict
+                # the old entry here so the oversize branch below (which
+                # never reaches the base-class overwrite) stays honest
+                self._entries.pop(full_key)
+                self.stored_bytes -= old[1]
+                self._ram_inserted_at.pop(full_key, None)
+                self._ram_stats["dropped"] += 1
+                self._ram_stats["dropped_bytes"] += old[1]
+                self.ledger["bytes_dropped"] += old[1]
+            if nbytes > self.max_bytes:
+                # too big for RAM: route straight down the spill path
+                # rather than rejecting outright — "capacity rejection
+                # at each tier" means each tier gets its own say
+                self.stats["rejected_oversize"] += 1
+                entry = TierEntry(
+                    payload, nbytes, self._clock(),
+                    self._produce_seconds(payload),
+                )
+                # the cache takes custody of the bytes either way: they
+                # end up resident below, exported, or counted dropped
+                self.ledger["bytes_inserted"] += nbytes
+                placed = self._spill(full_key, entry, from_index=-1)
+                if placed:
+                    self.stats["insertions"] += 1
+                return placed
+            accepted = super()._put(full_key, payload, nbytes)
+            if accepted:
+                self._ram_inserted_at[full_key] = self._clock()
+                self.ledger["bytes_inserted"] += nbytes
+            return accepted
+
+    def _on_evict(self, full_key, payload, nbytes: int) -> None:
+        """RAM LRU eviction → spill down instead of dropping."""
+        inserted_at = self._ram_inserted_at.pop(full_key, self._clock())
+        entry = TierEntry(
+            payload, nbytes, inserted_at, self._produce_seconds(payload)
+        )
+        self._spill(full_key, entry, from_index=-1, from_ram=True)
+
+    def _spill(
+        self, full_key, entry: TierEntry, *, from_index: int,
+        from_ram: bool = False, in_books: bool = True,
+    ) -> bool:
+        """Place an evicted entry on the first acceptable tier below
+        ``from_index``; cascade that tier's own evictions further down;
+        drop (counted) when no tier takes it.
+
+        ``in_books`` is False for entries displaced out of a *shared*
+        tier: their bytes were exported by whichever cache spilled
+        them, so this cache's ledger must not count their fate.
+        """
+        for i in range(from_index + 1, len(self._lower)):
+            t = self._lower[i]
+            if not self.placement.should_spill(full_key, entry, t):
+                continue
+            accepted, displaced = t.put(full_key, entry)
+            if not accepted:
+                continue  # oversize for this tier; try the next one down
+            self.transfer_seconds += t.spec.transfer_time(entry.nbytes)
+            moves = self._lower_moves[t.name]
+            moves["spilled_in"] += 1
+            moves["spilled_in_bytes"] += entry.nbytes
+            if from_ram:
+                self._ram_stats["spilled_out"] += 1
+                self._ram_stats["spilled_out_bytes"] += entry.nbytes
+            if t.shared and in_books:
+                self.ledger["bytes_exported"] += entry.nbytes
+            for cold_key, cold in displaced:
+                self._spill(
+                    cold_key, cold, from_index=i, in_books=not t.shared
+                )
+            return True
+        # nowhere to go: the bytes leave the cache
+        if from_ram:
+            self._ram_stats["dropped"] += 1
+            self._ram_stats["dropped_bytes"] += entry.nbytes
+        if in_books:
+            self.ledger["bytes_dropped"] += entry.nbytes
+        return False
+
+    def _ledger_drop(
+        self, tier: StorageTier, nbytes: int, *, expiry: bool
+    ) -> None:
+        moves = self._lower_moves[tier.name]
+        moves["dropped"] += 1
+        moves["dropped_bytes"] += nbytes
+        # bytes expiring or displaced in a *shared* tier were already
+        # exported out of this cache's books when they were spilled
+        if not tier.shared:
+            self.ledger["bytes_dropped"] += nbytes
+
+    # -- ledger ------------------------------------------------------------
+    def check_conservation(self) -> list[str]:
+        """Byte-accounting conservation (the property tests' oracle).
+
+        ``inserted + imported == resident(private tiers) + dropped +
+        exported``; a shared tier keeps its own books (its bytes were
+        exported when they left this cache).  Returns violations
+        (empty = invariant holds).
+        """
+        with self._lock:
+            resident = self.stored_bytes + sum(
+                t.resident_bytes for t in self._lower if not t.shared
+            )
+            lhs = (
+                self.ledger["bytes_inserted"] + self.ledger["bytes_imported"]
+            )
+            rhs = (
+                resident
+                + self.ledger["bytes_dropped"]
+                + self.ledger["bytes_exported"]
+            )
+            violations = []
+            if lhs != rhs:
+                violations.append(
+                    f"byte ledger unbalanced: inserted+imported={lhs} != "
+                    f"resident+dropped+exported={rhs} ({self.ledger})"
+                )
+            if self.stored_bytes > self.max_bytes:
+                violations.append(
+                    f"ram over budget: {self.stored_bytes} > {self.max_bytes}"
+                )
+            for t in self._lower:
+                if t.resident_bytes > t.spec.capacity_bytes:
+                    violations.append(
+                        f"tier {t.name} over budget: {t.resident_bytes} > "
+                        f"{t.spec.capacity_bytes}"
+                    )
+            return violations
+
+    def clear(self) -> None:
+        """Empty RAM and private lower tiers (a shared tier belongs to
+        the fleet, not to one shard, and is left alone)."""
+        with self._lock:
+            self.ledger["bytes_dropped"] += self.stored_bytes
+            super().clear()
+            self._ram_inserted_at.clear()
+            for t in self._lower:
+                if t.shared:
+                    continue
+                for entry in t.clear():
+                    self.ledger["bytes_dropped"] += entry.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lower = ", ".join(
+            f"{t.name}={t.resident_bytes}/{t.spec.capacity_bytes}"
+            for t in self._lower
+        )
+        return (
+            f"TieredFactorCache(ram={self.stored_bytes}/{self.max_bytes}"
+            + (f", {lower}" if lower else "")
+            + ")"
+        )

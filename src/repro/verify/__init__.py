@@ -17,8 +17,10 @@ from repro.verify.invariants import (
     check_cache_key_purity,
     check_degraded_still_solves,
     check_factor_residual,
+    check_fleet_failover,
     check_schedule_precedence,
     check_symbolic_structure,
+    check_tier_coherence,
     check_update_conservation,
     run_invariants,
 )
@@ -57,8 +59,10 @@ __all__ = [
     "check_cache_key_purity",
     "check_degraded_still_solves",
     "check_factor_residual",
+    "check_fleet_failover",
     "check_schedule_precedence",
     "check_symbolic_structure",
+    "check_tier_coherence",
     "check_update_conservation",
     "run_invariants",
     "ConfigPair",

@@ -36,6 +36,11 @@ Checkers
   sharded fleet taken down by injected faults, the router fails over to
   a replica, the outcome is flagged degraded, the factor is never
   cached on the dead primary, and the answer still solves.
+* :func:`check_tier_coherence` — a factor that round-trips through the
+  storage hierarchy (spilled and promoted back) or crosses the fleet
+  interconnect (peer-fetched) carries the same BLAKE2b
+  ``factor_fingerprint`` as a fresh local refactorization, and
+  timed-out / degraded requests never populate any tier.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ __all__ = [
     "check_factor_residual",
     "check_degraded_still_solves",
     "check_fleet_failover",
+    "check_tier_coherence",
     "run_invariants",
 ]
 
@@ -349,6 +355,126 @@ def check_fleet_failover(a: CSCMatrix, *, tol: float = 1e-9) -> list[str]:
     return violations
 
 
+def check_tier_coherence(a: CSCMatrix) -> list[str]:
+    """The storage hierarchy must never change factor bytes or keep
+    bytes it was told not to keep.
+
+    Three promises, checked independently of the cache's own counters:
+
+    * **spill/promote identity** — a factor pushed out of RAM into a
+      lower tier and read back has the same BLAKE2b
+      ``factor_fingerprint`` as a fresh local refactorization;
+    * **peer-fetch identity** — a factor pulled over the fleet
+      interconnect from a peer shard fingerprints identically too;
+    * **failure isolation** — a timed-out request leaves every tier
+      empty, and a degraded (fault-injected) run never publishes a
+      numeric factor to *any* tier, not just RAM.
+    """
+    from repro.cluster.fleet import ShardedSolverService
+    from repro.runtime.faults import FaultInjector
+    from repro.service.service import SolverService
+    from repro.service.tiers import TierConfig, TierSpec
+    from repro.verify.lattice import factor_fingerprint
+
+    violations: list[str] = []
+    b = np.ones(a.n_rows)
+
+    class _Filler:
+        """Synthetic payload used to force evictions."""
+
+    def _tiering() -> TierConfig:
+        return TierConfig(
+            ram_bytes=1 << 20,
+            disk=TierSpec("disk", 256 << 20, 5e8, 5e-3),
+            object_store=None,
+        )
+
+    # reference fingerprint: a fresh factorization, no tier movement
+    with SolverService(n_workers=1, policy="P1") as ref_svc:
+        ref_svc.solve(a, b)
+        _, num_key = ref_svc.keys_for(a)
+        reference = factor_fingerprint(ref_svc.cache.peek_numeric(num_key))
+
+    # 1. spill → promote round trip preserves the factor bytes
+    with SolverService(n_workers=1, policy="P1", tiering=_tiering()) as svc:
+        svc.solve(a, b)
+        filler_bytes = svc.cache.max_bytes // 2 + 1
+        for i in range(2):  # evict everything resident in RAM
+            svc.cache.put_numeric(f"__filler{i}", _Filler(),
+                                  nbytes=filler_bytes)
+        if ("numeric", num_key) in svc.cache.keys():
+            violations.append("factor survived a forced RAM eviction")
+        promoted = svc.cache.get_numeric(num_key)
+        if promoted is None:
+            violations.append("factor lost in the spill/promote round trip")
+        elif factor_fingerprint(promoted) != reference:
+            violations.append(
+                "promoted factor fingerprint differs from a fresh "
+                "refactorization — a tier changed factor bytes"
+            )
+        for problem in svc.cache.check_conservation():
+            violations.append(f"byte ledger after round trip: {problem}")
+
+    # 2. a peer-fetched factor fingerprints like a local one
+    with ShardedSolverService(
+        2, policy="P1", tiering=_tiering(), peer_fetch="always"
+    ) as fleet:
+        target = fleet.primary_for(a)
+        other = 1 - target
+        fleet.shards[other].solve(a, b)
+        fleet.solve(a, b)
+        if fleet.metrics.counter("peer_fetches") < 1:
+            violations.append(
+                "peer-fetch did not trigger with the factor resident "
+                "only on the non-primary shard"
+            )
+        else:
+            _, fleet_key = fleet.shards[target].keys_for(a)
+            fetched = fleet.shards[target].cache.peek_numeric(fleet_key)
+            if fetched is None:
+                violations.append("peer-fetched factor not found on target")
+            elif factor_fingerprint(fetched) != reference:
+                violations.append(
+                    "peer-fetched factor fingerprint differs from a "
+                    "fresh refactorization"
+                )
+
+    # 3a. a timed-out request leaves every tier empty
+    with SolverService(n_workers=1, policy="P1", tiering=_tiering()) as svc:
+        req = svc.submit(a, b, timeout=-1.0)
+        try:
+            req.result(timeout=60)
+        except TimeoutError:
+            pass
+        else:
+            violations.append("expired request did not raise TimeoutError")
+        if svc.cache.total_entries() != 0:
+            violations.append(
+                "timed-out request populated the tiered cache: "
+                f"{svc.cache.total_entries()} entries across tiers"
+            )
+
+    # 3b. a degraded run publishes no numeric factor to any tier
+    with SolverService(
+        n_workers=1, policy="P4", ordering="amd", backend="dynamic",
+        faults=FaultInjector(kernel_failure_rate=1.0), tiering=_tiering(),
+    ) as svc:
+        outcome = svc.solve(a, b)
+        if not outcome.degraded:
+            violations.append("fault-injected run was not flagged degraded")
+        numeric_keys = [k for k in svc.cache.keys() if k[0] == "numeric"]
+        for name in svc.cache.tiers[1:]:
+            numeric_keys += [
+                k for k in svc.cache.tier(name).keys() if k[0] == "numeric"
+            ]
+        if numeric_keys:
+            violations.append(
+                "degraded run published a numeric factor to a tier: "
+                f"{numeric_keys}"
+            )
+    return violations
+
+
 # ----------------------------------------------------------------------
 # suite entry point
 # ----------------------------------------------------------------------
@@ -388,5 +514,8 @@ def run_invariants(
         )
         reports.append(
             _report("fleet-failover", check_fleet_failover(full))
+        )
+        reports.append(
+            _report("tier-coherence", check_tier_coherence(full))
         )
     return reports

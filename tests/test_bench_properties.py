@@ -145,3 +145,111 @@ class TestRunToRunStability:
         )
         assert factor_fingerprint(nf) == factor_fingerprint(solver.factor)
         assert float(nf.makespan) == float(solver.stats.simulated_seconds)
+
+
+# ----------------------------------------------------------------------
+# tiered factor cache: byte conservation, bit identity, tier budgets
+# ----------------------------------------------------------------------
+class _Blob:
+    """Synthetic payload with an explicit recompute cost."""
+
+    def __init__(self, data: bytes, makespan: float):
+        self.data = data
+        self.makespan = makespan
+
+
+@st.composite
+def tier_workload(draw):
+    """A random tier stack plus a random put/get trace over few keys."""
+    from repro.service import StorageTier, TieredFactorCache, TierSpec
+
+    ram = draw(st.integers(100, 900))
+    n_lower = draw(st.integers(0, 2))
+    lower = [
+        StorageTier(
+            TierSpec(
+                f"t{i}",
+                draw(st.integers(200, 2000)),
+                bandwidth=draw(st.floats(1e5, 1e9)),
+                latency=draw(st.floats(0.0, 0.1)),
+            ),
+        )
+        for i in range(n_lower)
+    ]
+    cache = TieredFactorCache(
+        max_bytes=ram,
+        lower_tiers=lower,
+        placement=draw(
+            st.sampled_from(("spill", "drop", "spill-threshold"))
+        ),
+        transfer=draw(
+            st.sampled_from(
+                ("pull-on-read", "read-through", "cheapest-transfer")
+            )
+        ),
+    )
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(("put", "get")),
+                st.integers(0, 7),                  # key id
+                st.integers(1, 1100),               # nbytes when putting
+                st.floats(0.0, 1.0),                # makespan when putting
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return cache, ops
+
+
+class TestTierAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(tier_workload())
+    def test_bytes_conserved_and_budgets_respected(self, workload):
+        # (a) inserted + imported == resident + dropped + exported and
+        # (c) no tier over budget — checked after *every* operation, so
+        # any transient violation of either property fails too
+        cache, ops = workload
+        for action, key_id, nbytes, makespan in ops:
+            if action == "put":
+                cache.put_numeric(
+                    f"k{key_id}",
+                    _Blob(b"x" * min(nbytes, 64), makespan),
+                    nbytes=nbytes,
+                )
+            else:
+                cache.get_numeric(f"k{key_id}")
+            assert cache.check_conservation() == []
+        cache.clear()
+        assert cache.check_conservation() == []
+        assert cache.total_resident_bytes() == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=256),
+        st.integers(2, 5),
+        st.sampled_from(("pull-on-read", "cheapest-transfer")),
+    )
+    def test_payload_bit_identical_after_spill_and_promotion(
+        self, blob, n_fillers, transfer
+    ):
+        # (b) a factor readable before a spill comes back bit-identical
+        # after the round trip through a lower tier
+        from repro.service import StorageTier, TieredFactorCache, TierSpec
+
+        arr = np.frombuffer(blob, dtype=np.uint8).copy()
+        cache = TieredFactorCache(
+            max_bytes=400,
+            lower_tiers=[StorageTier(TierSpec("disk", 10_000, 1e6, 0.0))],
+            transfer=transfer,
+        )
+        assert cache.put_numeric("target", arr, nbytes=200)
+        before = cache.peek_numeric("target").tobytes()
+        for i in range(n_fillers):  # force the target out of RAM
+            cache.put_numeric(f"filler{i}", _Blob(b"f", 0.0), nbytes=200)
+        assert ("numeric", "target") in cache.tier("disk").keys()
+        got = cache.get_numeric("target")
+        assert got is not None
+        assert got.tobytes() == before == blob
+        assert cache.check_conservation() == []

@@ -1,0 +1,688 @@
+"""Tiered factor cache: policies, spill/promote movement, TTL expiry,
+per-tier capacity rejection, fleet shared-tier sharing and the
+peer-fetch-vs-refactorize decision boundary.
+
+Everything runs on the injectable :class:`ManualClock` and synthetic
+payloads with explicit byte sizes, so every movement is deterministic
+and assertable down to the byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import InterconnectParams, ShardedSolverService
+from repro.service import (
+    ManualClock,
+    SolverService,
+    StorageTier,
+    TierConfig,
+    TieredFactorCache,
+    TierSpec,
+)
+from repro.service.tiers import (
+    PLACEMENT_POLICIES,
+    TRANSFER_POLICIES,
+    TTL_POLICIES,
+    CheapestTransfer,
+    DropPlacement,
+    FixedTtl,
+    NoTtl,
+    PullOnRead,
+    ReadThrough,
+    SpillPlacement,
+    ThresholdPlacement,
+    TierEntry,
+    default_disk_spec,
+    default_object_spec,
+    make_placement_policy,
+    make_transfer_policy,
+    make_ttl_policy,
+)
+
+
+class FakeFactor:
+    """Payload with a simulated production cost, like a NumericFactor."""
+
+    def __init__(self, tag: str, makespan: float = 0.0):
+        self.tag = tag
+        self.makespan = makespan
+
+
+def make_cache(
+    *,
+    ram=1000,
+    disk=4000,
+    obj=8000,
+    placement="spill",
+    transfer="pull-on-read",
+    ttl="no-ttl",
+    clock=None,
+    disk_spec=None,
+    object_spec=None,
+):
+    lower = []
+    if disk is not None:
+        lower.append(
+            StorageTier(disk_spec or TierSpec("disk", disk, 5e8, 5e-3))
+        )
+    if obj is not None:
+        lower.append(
+            StorageTier(object_spec or TierSpec("object", obj, 2.5e8, 5e-2))
+        )
+    return TieredFactorCache(
+        max_bytes=ram, lower_tiers=lower, placement=placement,
+        transfer=transfer, ttl=ttl, clock=clock,
+    )
+
+
+# ----------------------------------------------------------------------
+# tier model
+# ----------------------------------------------------------------------
+class TestTierSpec:
+    def test_transfer_time_is_latency_plus_bandwidth(self):
+        spec = TierSpec("t", 100, bandwidth=1e6, latency=0.5)
+        assert spec.transfer_time(1_000_000) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TierSpec("t", 0, 1e6, 0.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            TierSpec("t", 10, 0.0, 0.0)
+        with pytest.raises(ValueError, match="latency"):
+            TierSpec("t", 10, 1e6, -1.0)
+
+    def test_default_specs_are_ordered_slower_downward(self):
+        disk, obj = default_disk_spec(), default_object_spec()
+        assert disk.bandwidth > obj.bandwidth
+        assert disk.latency < obj.latency
+
+
+class TestStorageTier:
+    def test_put_evicts_lru_to_fit_and_returns_victims(self):
+        t = StorageTier(TierSpec("d", 1000, 1e6, 0.0))
+        for i in range(3):
+            ok, evicted = t.put(
+                ("numeric", f"k{i}"), TierEntry(f"p{i}", 400, 0.0)
+            )
+            assert ok
+        # third insert displaced k0 (coldest)
+        assert [k for k, _ in evicted] == [("numeric", "k0")]
+        assert t.resident_bytes == 800
+        assert t.stats["evictions"] == 1
+
+    def test_oversize_entry_rejected_not_inserted(self):
+        t = StorageTier(TierSpec("d", 100, 1e6, 0.0))
+        ok, evicted = t.put(("numeric", "big"), TierEntry("p", 101, 0.0))
+        assert not ok and evicted == []
+        assert len(t) == 0
+        assert t.stats["rejected_oversize"] == 1
+
+    def test_read_write_accounting(self):
+        t = StorageTier(TierSpec("d", 1000, 1e6, 0.5))
+        t.put(("numeric", "k"), TierEntry("p", 100, 0.0))
+        assert t.write_seconds == pytest.approx(0.5 + 100 / 1e6)
+        seconds = t.account_read(100)
+        assert seconds == pytest.approx(0.5 + 100 / 1e6)
+        assert t.read_seconds == pytest.approx(seconds)
+        assert t.stats["read_bytes"] == 100
+        assert t.stats["write_bytes"] == 100
+
+    def test_remove_and_clear(self):
+        t = StorageTier(TierSpec("d", 1000, 1e6, 0.0))
+        t.put(("numeric", "k"), TierEntry("p", 100, 0.0))
+        entry = t.remove(("numeric", "k"))
+        assert entry.payload == "p" and t.resident_bytes == 0
+        assert t.remove(("numeric", "k")) is None
+        t.put(("numeric", "k2"), TierEntry("q", 50, 0.0))
+        dropped = t.clear()
+        assert [e.payload for e in dropped] == ["q"]
+        assert t.resident_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# policy registries
+# ----------------------------------------------------------------------
+class TestPolicyRegistry:
+    def test_registries_contain_the_documented_policies(self):
+        assert set(PLACEMENT_POLICIES) == {"spill", "drop", "spill-threshold"}
+        assert set(TRANSFER_POLICIES) == {
+            "pull-on-read", "read-through", "cheapest-transfer",
+        }
+        assert set(TTL_POLICIES) == {"no-ttl", "fixed-ttl"}
+
+    def test_resolve_by_name_and_passthrough(self):
+        assert isinstance(make_placement_policy("drop"), DropPlacement)
+        assert isinstance(make_transfer_policy("read-through"), ReadThrough)
+        assert isinstance(make_ttl_policy("no-ttl"), NoTtl)
+        inst = SpillPlacement()
+        assert make_placement_policy(inst) is inst
+
+    def test_unknown_name_raises_with_known_set(self):
+        with pytest.raises(KeyError, match="spill-threshold"):
+            make_placement_policy("nope")
+        with pytest.raises(KeyError, match="pull-on-read"):
+            make_transfer_policy("nope")
+        with pytest.raises(KeyError, match="fixed-ttl"):
+            make_ttl_policy("nope")
+
+    def test_factory_kwargs_forwarded(self):
+        pol = make_placement_policy("spill-threshold", spill_factor=2.5)
+        assert pol.spill_factor == 2.5
+        ttl = make_ttl_policy("fixed-ttl", ttl_seconds=7.0)
+        assert ttl.ttl_seconds == 7.0
+
+
+class TestPlacementPolicies:
+    def _tier(self, bandwidth=1e6, latency=0.0):
+        return StorageTier(TierSpec("d", 10_000, bandwidth, latency))
+
+    def test_spill_and_drop(self):
+        entry = TierEntry("p", 100, 0.0, produce_seconds=1.0)
+        assert SpillPlacement().should_spill("k", entry, self._tier())
+        assert not DropPlacement().should_spill("k", entry, self._tier())
+
+    def test_threshold_boundary(self):
+        # write time = 0.001 s for 1000 B at 1e6 B/s
+        tier = self._tier(bandwidth=1e6, latency=0.0)
+        pol = ThresholdPlacement(spill_factor=1.0)
+        cheap_to_remake = TierEntry("p", 1000, 0.0, produce_seconds=0.0005)
+        dear_to_remake = TierEntry("p", 1000, 0.0, produce_seconds=0.01)
+        at_boundary = TierEntry("p", 1000, 0.0, produce_seconds=0.001)
+        assert not pol.should_spill("k", cheap_to_remake, tier)
+        assert pol.should_spill("k", dear_to_remake, tier)
+        assert pol.should_spill("k", at_boundary, tier)  # <= is inclusive
+
+    def test_threshold_unknown_cost_always_spills(self):
+        pol = ThresholdPlacement()
+        entry = TierEntry("p", 1000, 0.0, produce_seconds=0.0)
+        assert pol.should_spill("k", entry, self._tier())
+
+    def test_threshold_validates_factor(self):
+        with pytest.raises(ValueError):
+            ThresholdPlacement(spill_factor=0.0)
+
+
+class TestTransferPolicies:
+    def _ctx(self, ram=1000, stored=800):
+        cache = make_cache(ram=ram, disk=4000, obj=None)
+        cache.put_numeric("filler", "f", nbytes=stored)
+        tier = cache.tier("disk")
+        return cache, tier
+
+    def test_pull_on_read_promotes_when_it_fits_ram_at_all(self):
+        cache, tier = self._ctx()
+        small = TierEntry("p", 900, 0.0)
+        giant = TierEntry("p", 1001, 0.0)
+        assert PullOnRead().should_promote("k", small, tier, cache)
+        assert not PullOnRead().should_promote("k", giant, tier, cache)
+
+    def test_read_through_never_promotes(self):
+        cache, tier = self._ctx()
+        assert not ReadThrough().should_promote(
+            "k", TierEntry("p", 1, 0.0), tier, cache
+        )
+
+    def test_cheapest_transfer_needs_free_headroom(self):
+        cache, tier = self._ctx(ram=1000, stored=800)
+        fits_free = TierEntry("p", 200, 0.0)
+        would_evict = TierEntry("p", 201, 0.0)
+        assert CheapestTransfer().should_promote("k", fits_free, tier, cache)
+        assert not CheapestTransfer().should_promote(
+            "k", would_evict, tier, cache
+        )
+
+
+class TestTtlPolicies:
+    def test_no_ttl_never_expires(self):
+        assert not NoTtl().expired(0.0, 1e12)
+
+    def test_fixed_ttl_boundary_inclusive(self):
+        ttl = FixedTtl(ttl_seconds=10.0)
+        assert not ttl.expired(0.0, 9.999)
+        assert ttl.expired(0.0, 10.0)
+        assert ttl.expired(0.0, 11.0)
+
+    def test_fixed_ttl_validates(self):
+        with pytest.raises(ValueError):
+            FixedTtl(ttl_seconds=0.0)
+
+    def test_manual_clock(self):
+        clk = ManualClock(5.0)
+        clk.advance(2.5)
+        assert clk.now() == clk() == 7.5
+        with pytest.raises(ValueError):
+            clk.advance(-1.0)
+
+
+# ----------------------------------------------------------------------
+# tiered cache movement
+# ----------------------------------------------------------------------
+class TestSpillAndPromote:
+    def test_ram_eviction_spills_to_disk(self):
+        cache = make_cache(ram=1000)
+        for i in range(3):
+            assert cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        assert cache.stored_bytes == 800
+        assert cache.tier("disk").resident_bytes == 400
+        stats = cache.tier_stats()
+        assert stats["ram"]["spilled_out"] == 1
+        assert stats["disk"]["spilled_in_bytes"] == 400
+        assert cache.check_conservation() == []
+
+    def test_promotion_moves_entry_back_to_ram(self):
+        cache = make_cache(ram=1000)
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        # k0 now on disk; reading it promotes (pull-on-read) and the
+        # displaced k1 spills back down — a move, never a copy
+        look = cache.lookup("nosym", "k0")
+        assert look.tier == "numeric" and look.numeric.tag == "f0"
+        assert cache.get_numeric("k0").tag == "f0"
+        keys_by_tier = {
+            "ram": cache.keys(),
+            "disk": cache.tier("disk").keys(),
+        }
+        assert ("numeric", "k0") in keys_by_tier["ram"]
+        assert ("numeric", "k0") not in keys_by_tier["disk"]
+        assert ("numeric", "k1") in keys_by_tier["disk"]
+        assert cache.tier_stats()["disk"]["promoted_out"] == 1
+        assert cache.check_conservation() == []
+
+    def test_disk_eviction_cascades_to_object_tier(self):
+        cache = make_cache(ram=400, disk=400, obj=4000)
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        # k2 in RAM, k1 on disk, k0 pushed all the way to the object tier
+        assert cache.resident_bytes_by_tier() == {
+            "ram": 400, "disk": 400, "object": 400,
+        }
+        assert cache.get_numeric("k0") is not None
+        assert cache.check_conservation() == []
+
+    def test_drop_policy_keeps_legacy_behaviour(self):
+        cache = make_cache(ram=1000, placement="drop")
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        assert cache.tier("disk").resident_bytes == 0
+        assert cache.get_numeric("k0") is None
+        assert cache.ledger["bytes_dropped"] == 400
+        assert cache.check_conservation() == []
+
+    def test_capacity_rejection_at_each_tier(self):
+        # entry too big for RAM and disk but not the object tier lands
+        # on the object tier; one too big for every tier is dropped
+        cache = make_cache(ram=100, disk=200, obj=400)
+        assert cache.put_numeric("mid", FakeFactor("m"), nbytes=300)
+        assert cache.resident_bytes_by_tier() == {
+            "ram": 0, "disk": 0, "object": 300,
+        }
+        assert cache.tier("disk").stats["rejected_oversize"] == 1
+        assert not cache.put_numeric("huge", FakeFactor("h"), nbytes=500)
+        assert cache.get_numeric("huge") is None
+        assert cache.check_conservation() == []
+
+    def test_read_through_serves_in_place(self):
+        cache = make_cache(ram=1000, transfer="read-through")
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        assert cache.get_numeric("k0").tag == "f0"
+        assert ("numeric", "k0") in cache.tier("disk").keys()  # not moved
+        assert cache.tier("disk").stats["hits"] == 1
+        assert cache.check_conservation() == []
+
+    def test_lower_tier_read_accrues_transfer_time(self):
+        disk_spec = TierSpec("disk", 4000, bandwidth=1e6, latency=0.5)
+        cache = make_cache(ram=1000, disk=4000, obj=None, disk_spec=disk_spec)
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        spill_cost = disk_spec.transfer_time(400)
+        assert cache.transfer_seconds == pytest.approx(spill_cost)
+        # read k0 + the displaced k1 spilling back down: two more writes
+        cache.get_numeric("k0")
+        assert cache.transfer_seconds == pytest.approx(3 * spill_cost)
+
+    def test_overwrite_counts_replaced_bytes_as_dropped(self):
+        cache = make_cache(ram=1000)
+        cache.put_numeric("k", FakeFactor("v1"), nbytes=300)
+        cache.put_numeric("k", FakeFactor("v2"), nbytes=500)
+        assert cache.ledger["bytes_inserted"] == 800
+        assert cache.ledger["bytes_dropped"] == 300
+        assert cache.check_conservation() == []
+
+    def test_fresh_insert_purges_stale_lower_copy(self):
+        cache = make_cache(ram=1000)
+        for i in range(3):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        assert ("numeric", "k0") in cache.tier("disk").keys()
+        cache.put_numeric("k0", FakeFactor("fresh"), nbytes=400)
+        assert ("numeric", "k0") not in cache.tier("disk").keys()
+        assert cache.get_numeric("k0").tag == "fresh"
+        assert cache.check_conservation() == []
+
+    def test_clear_empties_private_tiers_and_balances_ledger(self):
+        cache = make_cache(ram=1000)
+        for i in range(4):
+            cache.put_numeric(f"k{i}", FakeFactor(f"f{i}"), nbytes=400)
+        cache.clear()
+        assert cache.total_resident_bytes() == 0
+        assert cache.check_conservation() == []
+
+    def test_duplicate_tier_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TieredFactorCache(
+                max_bytes=100,
+                lower_tiers=[
+                    StorageTier(TierSpec("disk", 10, 1e6, 0.0)),
+                    StorageTier(TierSpec("disk", 10, 1e6, 0.0)),
+                ],
+            )
+
+
+class TestTtlExpiry:
+    def test_ram_entry_expires_lazily_off_the_injected_clock(self):
+        clk = ManualClock()
+        cache = make_cache(ram=1000, ttl=FixedTtl(ttl_seconds=10.0), clock=clk)
+        cache.put_numeric("k", FakeFactor("f"), nbytes=100)
+        clk.advance(9.0)
+        assert cache.get_numeric("k") is not None
+        clk.advance(1.0)
+        assert cache.get_numeric("k") is None
+        assert cache.tier_stats()["ram"]["expired"] == 1
+        assert cache.check_conservation() == []
+
+    def test_lower_tier_entry_expires_and_is_never_served(self):
+        clk = ManualClock()
+        cache = make_cache(ram=400, ttl=FixedTtl(ttl_seconds=10.0), clock=clk)
+        cache.put_numeric("old", FakeFactor("old"), nbytes=400)
+        cache.put_numeric("new", FakeFactor("new"), nbytes=400)  # old → disk
+        clk.advance(20.0)
+        assert cache.get_numeric("old") is None
+        assert cache.tier("disk").stats["expired"] == 1
+        assert cache.peek_numeric("old") is None  # peek honours TTL too
+        assert cache.check_conservation() == []
+
+    def test_promotion_preserves_the_original_timestamp(self):
+        clk = ManualClock()
+        cache = make_cache(ram=400, ttl=FixedTtl(ttl_seconds=10.0), clock=clk)
+        cache.put_numeric("a", FakeFactor("a"), nbytes=400)
+        clk.advance(5.0)
+        cache.put_numeric("b", FakeFactor("b"), nbytes=400)  # a → disk
+        assert cache.get_numeric("a") is not None  # promoted back at t=5
+        clk.advance(5.0)  # a is now 10 s old even though promoted at 5 s
+        assert cache.get_numeric("a") is None
+
+    def test_tier_config_ttl_seconds_shorthand(self):
+        clk = ManualClock()
+        cache = TierConfig(
+            ram_bytes=1000, ttl_seconds=5.0, clock=clk
+        ).build()
+        cache.put_numeric("k", FakeFactor("f"), nbytes=10)
+        clk.advance(5.0)
+        assert cache.get_numeric("k") is None
+
+
+# ----------------------------------------------------------------------
+# service integration
+# ----------------------------------------------------------------------
+class TestServiceTiering:
+    def test_tiering_and_cache_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            SolverService(
+                cache=TieredFactorCache(max_bytes=100),
+                tiering=TierConfig(ram_bytes=100),
+            )
+
+    def test_solve_spill_then_numeric_hit_from_disk(self, lap2d_small):
+        b = np.ones(lap2d_small.n_rows)
+        cfg = TierConfig(
+            ram_bytes=50_000,
+            disk=TierSpec("disk", 10_000_000, 5e8, 5e-3),
+            object_store=None,
+        )
+        with SolverService(n_workers=1, policy="P1", tiering=cfg) as svc:
+            first = svc.solve(lap2d_small, b)
+            assert first.tier == "miss"
+            _, num_key = svc.keys_for(lap2d_small)
+            entry = svc.cache.peek_numeric_entry(num_key)
+            assert entry is not None
+            # force the factor out of RAM with synthetic filler
+            for i in range(4):
+                svc.cache.put_numeric(
+                    f"filler{i}", FakeFactor(f"f{i}"), nbytes=20_000
+                )
+            assert ("numeric", num_key) not in svc.cache.keys()
+            assert svc.cache.tier("disk").peek(("numeric", num_key))
+            second = svc.solve(lap2d_small, b)
+            assert second.tier == "numeric"  # served through the tiers
+            np.testing.assert_array_equal(first.x, second.x)
+            assert svc.metrics.counter("numeric_factorizations") == 1
+            assert svc.cache.check_conservation() == []
+
+    def test_health_and_report_surface_tiers(self, lap2d_small):
+        cfg = TierConfig(ram_bytes=1 << 20)
+        with SolverService(n_workers=1, tiering=cfg) as svc:
+            svc.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+            h = svc.health()
+            assert set(h["cache_tiers"]) == {"ram", "disk", "object"}
+            assert h["cache_resident_bytes"] >= h["cache_tiers"]["ram"][
+                "resident_bytes"
+            ]
+            rep = svc.report()
+            assert rep["cache"]["ledger"]["bytes_inserted"] > 0
+            assert "tiers" in rep["cache"]
+            # per-tier gauges flow into the metrics exposition
+            text = svc.metrics.render_text()
+            assert "tier.ram.resident_bytes" in text
+            assert "tier.disk.capacity_bytes" in text
+            assert "tier.transfer_seconds" in text
+
+    def test_timed_out_request_populates_no_tier(self, lap2d_small):
+        cfg = TierConfig(ram_bytes=1 << 20)
+        with SolverService(n_workers=1, policy="P1", tiering=cfg) as svc:
+            req = svc.submit(
+                lap2d_small, np.ones(lap2d_small.n_rows), timeout=-1.0
+            )
+            with pytest.raises(TimeoutError):
+                req.result(timeout=60)
+            assert svc.cache.total_entries() == 0
+            assert svc.cache.check_conservation() == []
+
+    def test_degraded_request_populates_no_numeric_tier(self, lap2d_small):
+        from repro.runtime import FaultInjector
+
+        cfg = TierConfig(ram_bytes=1 << 20)
+        with SolverService(
+            n_workers=1, policy="P4", ordering="amd", backend="dynamic",
+            faults=FaultInjector(kernel_failure_rate=1.0), tiering=cfg,
+        ) as svc:
+            out = svc.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+            assert out.degraded
+            _, num_key = svc.keys_for(lap2d_small)
+            assert not svc.cache.has_numeric(num_key)
+            numeric_keys = [
+                k for k in svc.cache.keys() if k[0] == "numeric"
+            ] + [
+                k for name in ("disk", "object")
+                for k in svc.cache.tier(name).keys() if k[0] == "numeric"
+            ]
+            assert numeric_keys == []
+
+
+# ----------------------------------------------------------------------
+# fleet: shared tier + peer fetch
+# ----------------------------------------------------------------------
+def tiny_tiering(ram=60_000):
+    return TierConfig(
+        ram_bytes=ram,
+        disk=None,  # shards spill straight to the shared object tier
+        object_store=TierSpec("object", 16 << 20, 2.5e8, 5e-2),
+    )
+
+
+class TestFleetSharedTier:
+    def test_shards_chain_one_shared_object_tier(self):
+        fleet = ShardedSolverService(n_nodes=3, tiering=tiny_tiering())
+        with fleet:
+            tiers = [s.cache.tier("object") for s in fleet.shards]
+            assert all(t is fleet.shared_tier for t in tiers)
+            assert fleet.shared_tier.shared
+
+    def test_evicted_on_shard_a_served_from_shared_tier_by_shard_b(
+        self, lap2d_small
+    ):
+        b = np.ones(lap2d_small.n_rows)
+        fleet = ShardedSolverService(
+            n_nodes=2, tiering=tiny_tiering(), peer_fetch="off"
+        )
+        with fleet:
+            a_shard, b_shard = fleet.shards
+            first = a_shard.solve(lap2d_small, b)
+            assert first.tier == "miss"
+            _, num_key = a_shard.keys_for(lap2d_small)
+            # push the factor out of A's RAM into the shared tier
+            for i in range(4):
+                a_shard.cache.put_numeric(
+                    f"filler{i}", FakeFactor(f"f{i}"), nbytes=30_000
+                )
+            assert ("numeric", num_key) in fleet.shared_tier.keys()
+            assert a_shard.cache.ledger["bytes_exported"] > 0
+            # shard B never computed this factor, yet hits numeric
+            second = b_shard.solve(lap2d_small, b)
+            assert second.tier == "numeric"
+            np.testing.assert_array_equal(first.x, second.x)
+            assert b_shard.metrics.counter("numeric_factorizations") == 0
+            assert b_shard.cache.ledger["bytes_imported"] > 0
+            assert a_shard.cache.check_conservation() == []
+            assert b_shard.cache.check_conservation() == []
+
+    def test_fleet_health_and_report_show_shared_tier(self, lap2d_small):
+        fleet = ShardedSolverService(n_nodes=2, tiering=tiny_tiering())
+        with fleet:
+            fleet.solve(lap2d_small, np.ones(lap2d_small.n_rows))
+            h = fleet.health()
+            assert h["shared_tier"]["name"] == "object"
+            assert h["shared_tier"]["capacity_bytes"] == 16 << 20
+            rep = fleet.report()
+            assert rep["shared_tier"]["resident_bytes"] >= 0
+
+    def test_untiered_fleet_has_no_shared_tier(self, lap2d_small):
+        fleet = ShardedSolverService(n_nodes=2)
+        with fleet:
+            assert fleet.shared_tier is None
+            assert "shared_tier" not in fleet.health()
+
+    def test_invalid_peer_fetch_mode_rejected(self):
+        with pytest.raises(ValueError, match="peer_fetch"):
+            ShardedSolverService(n_nodes=2, peer_fetch="sometimes")
+
+
+class TestPeerFetchDecision:
+    """The fetch-over-interconnect vs refactorize-locally boundary."""
+
+    def _fleet(self, peer_fetch, *, latency=1e-3, bandwidth=1e6):
+        return ShardedSolverService(
+            n_nodes=2,
+            tiering=tiny_tiering(),
+            peer_fetch=peer_fetch,
+            interconnect=InterconnectParams(
+                latency=latency, bandwidth=bandwidth
+            ),
+        )
+
+    def _plant(self, fleet, a, makespan):
+        """Put a fake factor for ``a`` in exactly one shard's RAM and
+        return (holder, other, num_key)."""
+        target = fleet.primary_for(a)
+        other = 1 - target
+        _, num_key = fleet.shards[other].keys_for(a)
+        fleet.shards[other].cache.put_numeric(
+            num_key, FakeFactor("planted", makespan=makespan), nbytes=1000
+        )
+        return other, target, num_key
+
+    def test_fetch_wins_when_transfer_beats_refactorize(self, lap2d_small):
+        # fetch cost: 1e-3 + 1000/1e6 = 2e-3 s < makespan 0.1 s
+        fleet = self._fleet("cost-model")
+        with fleet:
+            holder, target, num_key = self._plant(fleet, lap2d_small, 0.1)
+            fleet._maybe_peer_fetch(target, lap2d_small)
+            assert fleet.shards[target].cache.has_numeric(num_key)
+            counters = fleet.metrics.report()["counters"]
+            assert counters["peer_fetches"] == 1
+            assert counters["peer_fetch_bytes"] == 1000
+            assert "peer_fetch_declined" not in counters
+
+    def test_refactorize_wins_when_transfer_is_dearer(self, lap2d_small):
+        # fetch cost 2e-3 s >= makespan 1e-4 s: decline
+        fleet = self._fleet("cost-model")
+        with fleet:
+            holder, target, num_key = self._plant(fleet, lap2d_small, 1e-4)
+            fleet._maybe_peer_fetch(target, lap2d_small)
+            assert not fleet.shards[target].cache.has_numeric(num_key)
+            counters = fleet.metrics.report()["counters"]
+            assert counters["peer_fetch_declined"] == 1
+            assert "peer_fetches" not in counters
+
+    def test_always_mode_ignores_the_cost_model(self, lap2d_small):
+        fleet = self._fleet("always")
+        with fleet:
+            holder, target, num_key = self._plant(fleet, lap2d_small, 1e-9)
+            fleet._maybe_peer_fetch(target, lap2d_small)
+            assert fleet.shards[target].cache.has_numeric(num_key)
+
+    def test_off_mode_never_probes(self, lap2d_small):
+        fleet = self._fleet("off")
+        with fleet:
+            holder, target, num_key = self._plant(fleet, lap2d_small, 10.0)
+            fleet._maybe_peer_fetch(target, lap2d_small)
+            assert not fleet.shards[target].cache.has_numeric(num_key)
+            assert fleet.metrics.report()["counters"] == {}
+
+    def test_local_hit_skips_the_probe(self, lap2d_small):
+        fleet = self._fleet("always")
+        with fleet:
+            holder, target, num_key = self._plant(fleet, lap2d_small, 10.0)
+            fleet.shards[target].cache.put_numeric(
+                num_key, FakeFactor("local"), nbytes=500
+            )
+            fleet._maybe_peer_fetch(target, lap2d_small)
+            assert fleet.metrics.report()["counters"] == {}
+            # the local copy was not clobbered by a peer import
+            assert (
+                fleet.shards[target].cache.peek_numeric(num_key).tag
+                == "local"
+            )
+
+    def test_end_to_end_fetch_through_solve(self, lap2d_small):
+        # a real factor resident only on the non-primary shard is pulled
+        # over the interconnect by the primary inside fleet.solve()
+        b = np.ones(lap2d_small.n_rows)
+        fleet = ShardedSolverService(n_nodes=2, tiering=tiny_tiering())
+        with fleet:
+            target = fleet.primary_for(lap2d_small)
+            other = 1 - target
+            first = fleet.shards[other].solve(lap2d_small, b)
+            _, num_key = fleet.shards[other].keys_for(lap2d_small)
+            assert fleet.shards[other].cache.has_numeric(num_key)
+            out = fleet.solve(lap2d_small, b)
+            counters = fleet.metrics.report()["counters"]
+            assert counters.get("peer_fetches", 0) == 1
+            assert out.tier == "numeric"  # no refactorization on target
+            np.testing.assert_array_equal(first.x, out.x)
+            assert (
+                fleet.shards[target].metrics.counter(
+                    "numeric_factorizations"
+                ) == 0
+            )
+
+
+# ----------------------------------------------------------------------
+# verify invariant
+# ----------------------------------------------------------------------
+class TestTierCoherenceInvariant:
+    def test_invariant_holds_on_suite_fixture(self, lap2d_small):
+        from repro.verify import check_tier_coherence
+
+        assert check_tier_coherence(lap2d_small) == []
