@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 __all__ = ["EdgeEntry", "EdgeQueue"]
 
@@ -62,10 +62,10 @@ class EdgeQueue:
         self,
         capacity: int = 64,
         *,
-        metrics=None,
+        metrics: Any = None,
         memory_signal: Callable[[], float] | None = None,
         memory_threshold: float = 0.95,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         if not 0.0 < memory_threshold <= 1.0:
@@ -122,7 +122,9 @@ class EdgeQueue:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def pop(self, *, wait: bool = False, timeout: float | None = None):
+    def pop(
+        self, *, wait: bool = False, timeout: float | None = None
+    ) -> EdgeEntry | None:
         """Next entry round-robin across client lanes; ``None`` if empty.
 
         With ``wait=True`` blocks until an entry arrives, the queue is

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any, Callable
 
 import numpy as np
 
@@ -49,6 +50,7 @@ from repro.api.protocol import (
     json_response,
     parse_factorize_payload,
     parse_solve_payload,
+    public_message,
 )
 from repro.dense.kernels import NotPositiveDefiniteError
 
@@ -60,7 +62,7 @@ class _SyncWaiter:
 
     __slots__ = ("event", "response")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.event = threading.Event()
         self.response: Response | None = None
 
@@ -96,20 +98,20 @@ class ApiApp:
 
     def __init__(
         self,
-        service,
+        service: Any,
         *,
-        api_keys,
+        api_keys: dict[str, str] | ApiKeyAuth,
         rate: float = 50.0,
         burst: int = 20,
         rate_overrides: dict[str, tuple[float, int]] | None = None,
         edge_capacity: int = 64,
         memory_threshold: float = 0.95,
-        clock=None,
+        clock: Callable[[], float] | None = None,
         dispatcher: str = "thread",
         n_dispatchers: int = 2,
-        metrics=None,
+        metrics: Any = None,
         max_finished_jobs: int = 4096,
-    ):
+    ) -> None:
         if dispatcher not in ("thread", "manual"):
             raise ValueError("dispatcher must be 'thread' or 'manual'")
         self.service = service
@@ -158,13 +160,18 @@ class ApiApp:
     def __enter__(self) -> "ApiApp":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # ASGI surface
     # ------------------------------------------------------------------
-    async def __call__(self, scope, receive, send) -> None:
+    async def __call__(
+        self,
+        scope: dict[str, Any],
+        receive: Callable[[], Any],
+        send: Callable[[dict[str, Any]], Any],
+    ) -> None:
         if scope["type"] == "lifespan":
             while True:
                 message = await receive()
@@ -217,7 +224,7 @@ class ApiApp:
             )
         except Exception as exc:  # envelope, never a stack trace
             resp = error_response(
-                "internal", f"{type(exc).__name__}: {exc}", request_id=rid
+                "internal", public_message(exc), request_id=rid
             )
         t1 = self._now()
         self._count_response(resp)
@@ -496,20 +503,19 @@ class ApiApp:
             ))
         except NotPositiveDefiniteError as exc:
             self._finish(entry, error=(
-                "numerical_error", f"matrix is not positive definite: {exc}",
+                "numerical_error",
+                f"matrix is not positive definite: {public_message(exc)}",
             ))
         except (ValueError, KeyError) as exc:
-            self._finish(entry, error=("invalid_request", str(exc)))
+            self._finish(entry, error=("invalid_request", public_message(exc)))
         except RuntimeError as exc:
-            self._finish(entry, error=("unavailable", str(exc)))
+            self._finish(entry, error=("unavailable", public_message(exc)))
         except Exception as exc:  # envelope, never a stack trace
-            self._finish(entry, error=(
-                "internal", f"{type(exc).__name__}: {exc}",
-            ))
+            self._finish(entry, error=("internal", public_message(exc)))
         else:
             self._finish(entry, outcome=outcome)
 
-    def _finish(self, entry: EdgeEntry, *, outcome=None,
+    def _finish(self, entry: EdgeEntry, *, outcome: Any = None,
                 error: tuple[str, str] | None = None) -> None:
         if entry.job is not None:
             job = entry.job

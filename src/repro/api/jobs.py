@@ -52,7 +52,7 @@ class Job:
     )
 
     def __init__(self, job_id: str, client: str, request_id: str,
-                 created: float):
+                 created: float) -> None:
         self.job_id = job_id
         self.client = client
         self.request_id = request_id
@@ -80,7 +80,7 @@ class Job:
 class JobStore:
     """Thread-safe id -> :class:`Job` map with bounded terminal retention."""
 
-    def __init__(self, *, max_finished: int = 4096):
+    def __init__(self, *, max_finished: int = 4096) -> None:
         if max_finished < 1:
             raise ValueError("max_finished must be at least 1")
         self.max_finished = int(max_finished)

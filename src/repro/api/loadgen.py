@@ -36,10 +36,11 @@ shape — a stack trace leaking to the wire counts as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.api.app import ApiApp
 from repro.api.middleware import ManualClock
-from repro.api.protocol import encode_matrix
+from repro.api.protocol import Response, encode_matrix
 from repro.api.transport import InProcessClient
 
 __all__ = ["LoadReport", "run_load"]
@@ -79,7 +80,7 @@ class LoadReport:
         return dict(sorted(out.items()))
 
 
-def _classify(resp, report: LoadReport) -> str:
+def _classify(resp: Response, report: LoadReport) -> str:
     """Map a response to its single outcome; police the envelope."""
     report.statuses[str(resp.status)] = (
         report.statuses.get(str(resp.status), 0) + 1
@@ -136,7 +137,7 @@ def run_load(
     rate: float = 50.0,
     burst: int = 20,
     n_patterns: int = 3,
-    service=None,
+    service: Any = None,
 ) -> LoadReport:
     """Drive the four-phase deterministic load; returns the tallies.
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Callable
 
 __all__ = [
     "ApiKeyAuth",
@@ -37,7 +38,7 @@ __all__ = [
 class ManualClock:
     """A clock that only moves when told to — determinism for tests/bench."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._lock = threading.Lock()
 
@@ -63,7 +64,7 @@ class ApiKeyAuth:
 
     HEADER = "x-api-key"
 
-    def __init__(self, keys: dict[str, str]):
+    def __init__(self, keys: dict[str, str]) -> None:
         if not keys:
             raise ValueError("need at least one API key")
         for key, client in keys.items():
@@ -87,7 +88,10 @@ class TokenBucket:
     hypothesis test pins.  Thread-safe; one instance per client.
     """
 
-    def __init__(self, rate: float, burst: int, *, clock=time.monotonic):
+    def __init__(
+        self, rate: float, burst: int, *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if rate < 0:
             raise ValueError("rate must be non-negative")
         if burst < 1:
@@ -121,8 +125,8 @@ class RateLimiter:
     """Per-client token buckets with lazily created default buckets."""
 
     def __init__(self, rate: float = 50.0, burst: int = 20, *,
-                 clock=time.monotonic,
-                 overrides: dict[str, tuple[float, int]] | None = None):
+                 clock: Callable[[], float] = time.monotonic,
+                 overrides: dict[str, tuple[float, int]] | None = None) -> None:
         self.rate = float(rate)
         self.burst = int(burst)
         self._clock = clock
@@ -152,7 +156,7 @@ class RequestIds:
     HEADER = "x-request-id"
     _MAX_LEN = 128
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._next = 0
         self._lock = threading.Lock()
 

@@ -46,6 +46,7 @@ __all__ = [
     "json_response",
     "parse_factorize_payload",
     "parse_solve_payload",
+    "public_message",
 ]
 
 API_VERSION = "v1"
@@ -67,11 +68,45 @@ ERROR_STATUS: dict[str, int] = {
 }
 
 
+#: exception types whose ``str()`` is considered publishable: domain
+#: validation and availability errors whose messages describe the
+#: *request* (shape mismatches, unknown policies, shutdown), never the
+#: server's internals.  Matched by name so the protocol module keeps
+#: its zero-dependency floor.
+_PUBLIC_EXCEPTION_TYPES = frozenset({
+    "ValueError",
+    "KeyError",
+    "TimeoutError",
+    "RuntimeError",
+    "NotPositiveDefiniteError",
+})
+
+
+def public_message(
+    exc: BaseException, *, fallback: str = "internal error"
+) -> str:
+    """Wire-safe text for ``exc`` — the sanctioned sanitizer.
+
+    :class:`ApiError` messages are crafted for the wire and pass
+    through; the whitelisted domain exception types publish their
+    ``str()`` (their messages describe the request, not the host); any
+    other exception — whatever internal state, path, or type name its
+    text carries — collapses to ``fallback``.  The wire-hygiene lint
+    (RPL080) treats a value routed through here as clean, so every
+    exception-to-envelope path should use it.
+    """
+    if isinstance(exc, ApiError):
+        return exc.message
+    if type(exc).__name__ in _PUBLIC_EXCEPTION_TYPES:
+        return str(exc) or fallback
+    return fallback
+
+
 class ApiError(Exception):
     """A protocol-level failure carrying its stable error code."""
 
     def __init__(self, code: str, message: str, *,
-                 retry_after_ms: int | None = None):
+                 retry_after_ms: int | None = None) -> None:
         if code not in ERROR_STATUS:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)

@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import json as _json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
 
 from repro.api.protocol import Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.api.app import ApiApp
 
 __all__ = ["InProcessClient", "serve_http"]
 
@@ -29,7 +33,7 @@ __all__ = ["InProcessClient", "serve_http"]
 class InProcessClient:
     """Synchronous ASGI client: no sockets, no event loop, full adapter."""
 
-    def __init__(self, app):
+    def __init__(self, app: "ApiApp") -> None:
         self.app = app
 
     # ------------------------------------------------------------------
@@ -56,12 +60,12 @@ class InProcessClient:
         }
         inbox = [{"type": "http.request", "body": body, "more_body": False}]
 
-        async def receive():
+        async def receive() -> dict[str, Any]:
             return inbox.pop(0)
 
-        sent: list[dict] = []
+        sent: list[dict[str, Any]] = []
 
-        async def send(message):
+        async def send(message: dict[str, Any]) -> None:
             sent.append(message)
 
         coro = self.app(scope, receive, send)
@@ -82,17 +86,17 @@ class InProcessClient:
         return Response(start["status"], payload, resp_headers)
 
     # convenience verbs -------------------------------------------------
-    def get(self, path: str, **kw) -> Response:
+    def get(self, path: str, **kw: Any) -> Response:
         return self.request("GET", path, **kw)
 
-    def post(self, path: str, **kw) -> Response:
+    def post(self, path: str, **kw: Any) -> Response:
         return self.request("POST", path, **kw)
 
-    def delete(self, path: str, **kw) -> Response:
+    def delete(self, path: str, **kw: Any) -> Response:
         return self.request("DELETE", path, **kw)
 
 
-def serve_http(app, host: str = "127.0.0.1", port: int = 8080,
+def serve_http(app: "ApiApp", host: str = "127.0.0.1", port: int = 8080,
                *, quiet: bool = True) -> ThreadingHTTPServer:
     """Bind ``app`` behind a stdlib threading HTTP server.
 
@@ -119,7 +123,9 @@ def serve_http(app, host: str = "127.0.0.1", port: int = 8080,
 
         do_GET = do_POST = do_DELETE = do_PUT = _dispatch
 
-        def log_message(self, fmt, *args):  # pragma: no cover - noise knob
+        def log_message(
+            self, fmt: str, *args: Any
+        ) -> None:  # pragma: no cover - noise knob
             if not quiet:
                 super().log_message(fmt, *args)
 

@@ -449,7 +449,8 @@ def cmd_lint(args) -> int:
         render,
         run_lint,
     )
-    from repro.lint.runner import DEFAULT_BASELINE
+    from repro.lint.cache import LintCache
+    from repro.lint.runner import DEFAULT_BASELINE, filter_to_paths
 
     if args.list_rules:
         from repro.analysis import format_table
@@ -481,9 +482,19 @@ def cmd_lint(args) -> int:
         if baseline_path.exists():
             baseline = Baseline.load(baseline_path)
 
+    cache = None
+    if args.cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else (
+            repo_root / ".lint-cache"
+        )
+        cache = LintCache(cache_dir)
+
     result = run_lint(
-        paths, baseline=baseline, src_roots=[repo_root / "src"]
+        paths, baseline=baseline, src_roots=[repo_root / "src"],
+        cache=cache,
     )
+    if cache is not None:
+        cache.save()
 
     if args.write_baseline:
         files, _ = discover_files(paths, src_roots=[repo_root / "src"])
@@ -495,13 +506,59 @@ def cmd_lint(args) -> int:
         )
         return 0
 
-    print(render(result, args.format))
+    if args.changed_only:
+        changed = _git_changed_files(repo_root, args.changed_base)
+        if changed is None:
+            print(
+                "lint: --changed-only needs a git checkout; "
+                "reporting everything",
+                file=sys.stderr,
+            )
+        else:
+            result = filter_to_paths(result, changed)
+
+    print(render(result, args.format, rules=all_rules()))
 
     if args.self_check:
         rc = 0 if result.ok else 1
         rc = max(rc, _lint_self_check(repo_root))
         return rc
     return 0 if result.ok else 1
+
+
+def _git_changed_files(repo_root, base: str):
+    """Changed + untracked ``.py`` paths per git, or None off-checkout."""
+    import subprocess
+
+    def _run(argv):
+        return subprocess.run(
+            argv, cwd=repo_root, capture_output=True, text=True,
+            check=True,
+        ).stdout
+
+    try:
+        diffed = _run(["git", "diff", "--name-only", base, "--"])
+        untracked = _run(
+            ["git", "ls-files", "--others", "--exclude-standard"]
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    from pathlib import Path
+
+    return {
+        repo_root / line.strip()
+        for line in (diffed + untracked).splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
+#: modules held to ``mypy --strict`` by the self-check and CI; mirrors
+#: the per-module overrides in pyproject.toml
+STRICT_TYPED_PATHS = (
+    "src/repro/lint",
+    "src/repro/api",
+    "src/repro/service/tiers.py",
+)
 
 
 def _lint_self_check(repo_root) -> int:
@@ -516,8 +573,8 @@ def _lint_self_check(repo_root) -> int:
 
     rc = 0
     for name, argv in (
-        ("ruff", ["ruff", "check", "src/repro/lint"]),
-        ("mypy", ["mypy", "--strict", "src/repro/lint"]),
+        ("ruff", ["ruff", "check", *STRICT_TYPED_PATHS]),
+        ("mypy", ["mypy", "--strict", *STRICT_TYPED_PATHS]),
     ):
         if shutil.which(name) is None:
             print(f"self-check: {name} skipped (not installed)")
@@ -871,7 +928,7 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("paths", nargs="*",
                     help="files/directories to lint (default: src/repro)")
     li.add_argument("--format", default="text",
-                    choices=("text", "json", "github"))
+                    choices=("text", "json", "github", "sarif"))
     li.add_argument("--baseline", default="",
                     help="baseline file (default: lint-baseline.json at "
                          "the repo root)")
@@ -881,9 +938,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="accept all current findings into the baseline")
     li.add_argument("--list-rules", action="store_true",
                     help="print the rule table and exit")
+    li.add_argument("--cache", action="store_true",
+                    help="reuse per-file findings for unchanged content "
+                         "from .lint-cache/ (program-wide passes rerun "
+                         "only when any file changed)")
+    li.add_argument("--cache-dir", default="",
+                    help="cache directory (default: .lint-cache at the "
+                         "repo root)")
+    li.add_argument("--changed-only", action="store_true",
+                    help="report findings only for files git considers "
+                         "changed; the analysis still sees the whole tree")
+    li.add_argument("--changed-base", default="HEAD",
+                    help="git ref to diff against for --changed-only "
+                         "(default: HEAD)")
     li.add_argument("--self-check", action="store_true",
-                    help="also run ruff and mypy --strict over "
-                         "src/repro/lint when installed")
+                    help="also run ruff and mypy --strict over the "
+                         "strict-typed modules when installed")
 
     ap = sub.add_parser(
         "api-serve",

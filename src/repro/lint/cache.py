@@ -1,0 +1,166 @@
+"""Incremental lint cache: skip re-analysis of unchanged content.
+
+The cache exploits the :attr:`~repro.lint.core.Checker.scope` split:
+
+* **file-scope** checkers produce findings that depend only on one
+  file's content, so their findings are cached per file under a key of
+  ``sha256(path + content)`` — editing one module re-lints one module;
+* **program-scope** checkers (the call-graph and dataflow passes)
+  depend on every file at once, so their findings are cached under a
+  single *tree key* hashing every ``(path, content-hash)`` pair — any
+  edit anywhere invalidates them, but the no-change re-run (the common
+  CI retry) is free.
+
+Both keys also fold in the checker set (rule ids) and the
+:class:`~repro.lint.core.LintConfig`, so flipping a config knob or
+adding a rule invalidates stale entries instead of serving them.
+
+Entries are stored as JSON under ``.lint-cache/`` (one file per
+scope).  The store is pruned on save: only keys touched by the current
+run survive, so the directory never grows beyond the working tree.
+Cached findings are *raw* — inline suppressions and the baseline are
+re-applied on every run, so editing a suppression comment changes the
+outcome even on a cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.lint.core import Finding, LintConfig
+
+__all__ = ["LintCache", "file_key", "tree_key"]
+
+
+def _config_fingerprint(config: LintConfig) -> str:
+    """Canonical, process-stable serialization of the config.
+
+    ``repr(config)`` is *not* stable: frozenset fields iterate in
+    hash-seed order, which differs per interpreter process and would
+    silently defeat every cross-run cache hit.
+    """
+    parts = []
+    for f in sorted(fields(config), key=lambda f: f.name):
+        value = getattr(config, f.name)
+        if isinstance(value, (frozenset, set)):
+            value = sorted(value)
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+#: bump when the cached representation (or finding semantics baked into
+#: messages) changes incompatibly
+CACHE_VERSION = 1
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def file_key(
+    path: str, text: str, rule_ids: tuple[str, ...], config: LintConfig
+) -> str:
+    """Cache key for one file's file-scope findings."""
+    return _digest(
+        f"v{CACHE_VERSION}", path, text, ",".join(rule_ids),
+        _config_fingerprint(config),
+    )
+
+
+def tree_key(
+    entries: list[tuple[str, str]],
+    rule_ids: tuple[str, ...],
+    config: LintConfig,
+) -> str:
+    """Cache key for the whole tree's program-scope findings.
+
+    *entries* is ``(path, content-hash)`` per file; order-insensitive.
+    """
+    body = "\n".join(f"{p}\t{h}" for p, h in sorted(entries))
+    return _digest(
+        f"v{CACHE_VERSION}", body, ",".join(rule_ids),
+        _config_fingerprint(config),
+    )
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class LintCache:
+    """A small two-table JSON store under ``.lint-cache/``."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self._files: dict[str, list[dict]] = self._load("files.json")
+        self._program: dict[str, list[dict]] = self._load("program.json")
+        self._touched_files: set[str] = set()
+        self._touched_program: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def _load(self, name: str) -> dict[str, list[dict]]:
+        try:
+            obj = json.loads((self.root / name).read_text())
+        except (OSError, ValueError):
+            return {}
+        return obj if isinstance(obj, dict) else {}
+
+    # -- lookups --------------------------------------------------------
+    def get_file(self, key: str) -> list[Finding] | None:
+        return self._get(self._files, self._touched_files, key)
+
+    def get_program(self, key: str) -> list[Finding] | None:
+        return self._get(self._program, self._touched_program, key)
+
+    def _get(
+        self,
+        table: dict[str, list[dict]],
+        touched: set[str],
+        key: str,
+    ) -> list[Finding] | None:
+        entry = table.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        touched.add(key)
+        self.hits += 1
+        try:
+            return [Finding(**d) for d in entry]
+        except TypeError:
+            # a stale/foreign entry: treat as a miss
+            del table[key]
+            touched.discard(key)
+            self.misses += 1
+            return None
+
+    # -- stores ---------------------------------------------------------
+    def put_file(self, key: str, findings: list[Finding]) -> None:
+        self._files[key] = [asdict(f) for f in findings]
+        self._touched_files.add(key)
+
+    def put_program(self, key: str, findings: list[Finding]) -> None:
+        self._program[key] = [asdict(f) for f in findings]
+        self._touched_program.add(key)
+
+    # -- persistence ----------------------------------------------------
+    def save(self) -> None:
+        """Write both tables, pruned to the keys this run touched."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        gitignore = self.root / ".gitignore"
+        if not gitignore.exists():
+            gitignore.write_text("*\n")
+        for name, table, touched in (
+            ("files.json", self._files, self._touched_files),
+            ("program.json", self._program, self._touched_program),
+        ):
+            pruned = {k: v for k, v in table.items() if k in touched}
+            (self.root / name).write_text(
+                json.dumps(pruned, sort_keys=True)
+            )

@@ -12,7 +12,9 @@ from repro.lint.checkers import (  # noqa: F401  (import = register)
     determinism,
     metrics,
     purity,
+    suppressions,
 )
+from repro.lint import flow  # noqa: F401  (import = register)
 from repro.lint.core import Checker, registry
 
 __all__ = ["all_checkers"]

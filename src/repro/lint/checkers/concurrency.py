@@ -314,6 +314,7 @@ def _summarize(prog: _Program) -> None:
 
 @register
 class ConcurrencyChecker(Checker):
+    scope = "program"
     rules = (
         Rule(
             "RPL001",

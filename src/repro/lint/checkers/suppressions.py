@@ -1,0 +1,73 @@
+"""Suppression hygiene (RPL090).
+
+A ``# repro-lint: disable=RPLxxx`` comment is a claim that a human
+looked at a diagnostic and decided it is wrong or acceptable *here*.
+Without a ``-- why`` justification the claim is unauditable — the next
+reader cannot tell a considered exemption from a drive-by mute — so a
+bare suppression is itself a counted warning.  The grammar::
+
+    x = risky()  # repro-lint: disable=RPL002 -- snapshot, no waiters
+
+RPL090 cannot be silenced by the bare comment it flags (that would be
+a self-licensing loophole); only an explicit ``disable=RPL090`` — with
+its own ``-- why`` — exempts a line, and the framework enforces that
+in :meth:`repro.lint.core.SourceFile.is_suppressed`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    register,
+)
+
+__all__ = ["SuppressionChecker"]
+
+
+@register
+class SuppressionChecker(Checker):
+    rules = (
+        Rule(
+            "RPL090",
+            "unjustified-suppression",
+            "warning",
+            "An inline repro-lint disable comment has no `-- why` "
+            "justification; exemptions must be auditable.",
+            hint="append `-- <reason>` explaining why the rule does "
+            "not apply here",
+        ),
+    )
+
+    def check(
+        self, files: list[SourceFile], config: LintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for sf in files:
+            for sup in sf.suppressions:
+                if sup.justified:
+                    continue
+                rules = (
+                    ", ".join(sorted(sup.rules))
+                    if sup.rules
+                    else "all rules"
+                )
+                scope = "file-wide " if sup.file_scope else ""
+                findings.append(
+                    Finding(
+                        rule_id="RPL090",
+                        severity="warning",
+                        path=str(sf.path),
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"{scope}suppression of {rules} has no "
+                            "`-- why` justification"
+                        ),
+                        hint=self.rules[0].hint,
+                    )
+                )
+        return findings

@@ -23,7 +23,9 @@ silent: the runner reports how many findings each run suppressed.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -34,6 +36,7 @@ __all__ = [
     "Rule",
     "Severity",
     "SourceFile",
+    "Suppression",
     "registry",
 ]
 
@@ -46,7 +49,26 @@ SEVERITIES: tuple[Severity, ...] = ("error", "warning")
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable(?P<scope>-file)?"
     r"(?:\s*=\s*(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
 )
+
+
+def _iter_comments(text: str) -> list[tuple[int, str]]:
+    """``(line, comment-text)`` for every *real* comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    grammar shown inside docstrings — the framework documents itself —
+    from being honored or flagged as if it were live.
+    """
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(text).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unlikely (the file already parsed), but fall back to raw lines
+        return list(enumerate(text.splitlines(), start=1))
 
 
 @dataclass(frozen=True)
@@ -87,6 +109,25 @@ class Finding:
         return (self.rule_id, self.path, source_line.strip())
 
 
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro-lint: disable`` comment, as written.
+
+    ``rules`` is None for a bare ``disable`` (all rules); ``why`` is the
+    text after ``--`` (empty when the author skipped the justification —
+    which RPL090 counts as a warning of its own).
+    """
+
+    line: int
+    file_scope: bool
+    rules: frozenset[str] | None
+    why: str = ""
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.why.strip())
+
+
 @dataclass
 class SourceFile:
     """One parsed module plus its inline suppressions."""
@@ -99,6 +140,7 @@ class SourceFile:
         default_factory=dict
     )
     file_suppressions: frozenset[str] | None | bool = False
+    suppressions: list[Suppression] = field(default_factory=list)
 
     @property
     def lines(self) -> list[str]:
@@ -109,6 +151,16 @@ class SourceFile:
         return lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
 
     def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule_id == "RPL090":
+            # the unjustified-suppression warning cannot be silenced by
+            # the very comment it flags: only an *explicit* RPL090
+            # mention counts (bare blanket disables do not)
+            return any(
+                s.rules is not None
+                and "RPL090" in s.rules
+                and (s.file_scope or s.line == finding.line)
+                for s in self.suppressions
+            )
         if self.file_suppressions is None:
             return True
         if self.file_suppressions and isinstance(
@@ -128,13 +180,22 @@ class SourceFile:
         tree = ast.parse(text, filename=str(path))
         line_sup: dict[int, frozenset[str] | None] = {}
         file_sup: frozenset[str] | None | bool = False
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            m = _SUPPRESS_RE.search(line)
+        comments: list[Suppression] = []
+        for lineno, comment in _iter_comments(text):
+            m = _SUPPRESS_RE.search(comment)
             if m is None:
                 continue
             rules = m.group("rules")
             parsed: frozenset[str] | None = (
                 frozenset(r.strip() for r in rules.split(",")) if rules else None
+            )
+            comments.append(
+                Suppression(
+                    line=lineno,
+                    file_scope=bool(m.group("scope")),
+                    rules=parsed,
+                    why=m.group("why") or "",
+                )
             )
             if m.group("scope"):
                 if file_sup is None or parsed is None:
@@ -156,6 +217,7 @@ class SourceFile:
             tree=tree,
             line_suppressions=line_sup,
             file_suppressions=file_sup,
+            suppressions=comments,
         )
 
 
@@ -212,6 +274,20 @@ class LintConfig:
         }
     )
 
+    #: modules whose surface is the public wire (``/v1`` envelopes and
+    #: metric expositions) — where the RPL08x hygiene sinks live
+    wire_modules: tuple[str, ...] = ("repro.api",)
+    #: exception classes whose text is *crafted* for the wire (their
+    #: message is the public contract, not leaked internals)
+    wire_safe_exceptions: tuple[str, ...] = ("ApiError",)
+    #: functions that scrub exception/path taint from a value before it
+    #: goes on the wire (the sanctioned laundering points)
+    wire_sanitizers: tuple[str, ...] = ("public_message",)
+    #: minimum fraction of non-``__init__`` accesses that must hold one
+    #: lock before guard inference (RPL070/071) calls the attribute
+    #: lock-guarded
+    guard_majority: float = 2 / 3
+
     def engine_kinds_tuple(self) -> tuple[str, ...]:
         try:
             from repro.gpu.trace import _ENGINE_ORDER
@@ -226,6 +302,12 @@ class Checker:
 
     #: rules this checker may emit (drives ``--list-rules`` and docs)
     rules: tuple[Rule, ...] = ()
+    #: ``"file"`` — findings for a file depend only on that file's
+    #: content, so the incremental cache may reuse them per content
+    #: hash; ``"program"`` — findings depend on the whole file set
+    #: (call graphs, cross-module taint) and are only reusable when
+    #: *nothing* in the tree changed.
+    scope: str = "file"
 
     def check(
         self, files: list[SourceFile], config: LintConfig

@@ -1,0 +1,270 @@
+"""Whole-program index and call resolution for the flow checkers.
+
+This generalizes the three-stage index the concurrency checker builds
+privately (:mod:`repro.lint.checkers.concurrency`): every function in
+the analyzed file set gets a :class:`FunctionInfo` keyed
+``module:Class.name`` / ``module:name``, and :meth:`ProgramIndex
+.resolve_call` maps a call site to a key using, in order:
+
+1. bare names — same-module functions, ``from m import f`` imports,
+   and constructors (a class name resolves to its ``__init__``);
+2. ``alias.f(...)`` through ``import m as alias`` module aliases;
+3. ``self.m(...)`` — own-class methods;
+4. ``self.attr.m(...)`` / ``var.m(...)`` — receivers whose type is
+   known because ``self.attr = ClassName(...)`` (anywhere in the
+   class) or ``var = ClassName(...)`` (earlier in the function) named
+   an analyzed class;
+5. a method name that is **unique** across every analyzed class.
+
+Resolution is best-effort and under-approximate by design: an
+unresolved call contributes no interprocedural facts, which keeps the
+checkers quiet rather than noisy.  Lock discovery reuses the
+concurrency checker's identity scheme — ``Class.attr`` for
+``self.x = threading.Lock()`` and ``module:name`` for module-level
+locks — so guard inference (RPL07x) speaks the same lock language as
+RPL001–003.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import LintConfig, SourceFile, dotted_name
+
+__all__ = ["FunctionInfo", "ProgramIndex", "build_index", "iter_functions"]
+
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+
+def iter_functions(sf: SourceFile):
+    """Yield ``(class_name | None, function_node)`` for every def."""
+    for node in sf.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, sub
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function: identity, node, and ordered parameters."""
+
+    key: str                      # "module:Class.name" or "module:name"
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: positional-or-keyword + kw-only parameter names, ``self``/``cls``
+    #: stripped, in declaration order (kwarg -> index mapping)
+    params: tuple[str, ...] = ()
+
+    def param_index(self, name: str) -> int | None:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ProgramIndex:
+    """Everything the flow passes need to know about the program."""
+
+    files: list[SourceFile]
+    config: LintConfig
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    file_of: dict[str, SourceFile] = field(default_factory=dict)
+    #: bare function name -> keys of module-level functions
+    by_name: dict[str, list[str]] = field(default_factory=dict)
+    #: method name -> keys across every analyzed class
+    methods: dict[str, list[str]] = field(default_factory=dict)
+    #: class name -> defining module
+    classes: dict[str, str] = field(default_factory=dict)
+    #: per module: ``from m import n as a`` -> a -> m
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: per module: ``import m as a`` -> a -> m
+    module_aliases: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: lock identity ("Class.attr" | "module:name") -> defining file
+    locks: dict[str, SourceFile] = field(default_factory=dict)
+    #: (class name, attr) -> class name of the stored instance
+    attr_types: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def function_file(self, info: FunctionInfo) -> SourceFile:
+        return self.file_of[info.module]
+
+    def method_key(self, cls: str, method: str) -> str | None:
+        module = self.classes.get(cls)
+        if module is None:
+            return None
+        key = f"{module}:{cls}.{method}"
+        return key if key in self.functions else None
+
+    def resolve_call(
+        self,
+        sf: SourceFile,
+        cls: str | None,
+        call: ast.Call,
+        local_types: dict[str, str] | None = None,
+    ) -> str | None:
+        """Best-effort mapping of a call site to an analyzed function."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = f"{sf.module}:{name}"
+            if local in self.functions:
+                return local
+            src = self.imports.get(sf.module, {}).get(name)
+            if src is not None:
+                imported = f"{src}:{name}"
+                if imported in self.functions:
+                    return imported
+                init = f"{src}:{name}.__init__"
+                if init in self.functions:
+                    return init
+            init = f"{sf.module}:{name}.__init__"
+            if init in self.functions:
+                return init
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        recv = dotted_name(func.value)
+        if recv is not None:
+            if recv == "self" and cls is not None:
+                key = f"{sf.module}:{cls}.{method}"
+                if key in self.functions:
+                    return key
+            if recv.startswith("self.") and cls is not None:
+                attr = recv[5:]
+                owner = self.attr_types.get((cls, attr))
+                if owner is not None:
+                    key = self.method_key(owner, method)
+                    if key is not None:
+                        return key
+            target = self.module_aliases.get(sf.module, {}).get(recv)
+            if target is not None:
+                key = f"{target}:{method}"
+                if key in self.functions:
+                    return key
+            if local_types is not None and recv in local_types:
+                key = self.method_key(local_types[recv], method)
+                if key is not None:
+                    return key
+        candidates = self.methods.get(method, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def local_types(
+        self, sf: SourceFile, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        """``var -> class name`` for ``var = ClassName(...)`` bindings."""
+        out: dict[str, str] = {}
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            ctor = self._constructed_class(sf, node.value)
+            if ctor is not None:
+                out[node.targets[0].id] = ctor
+        return out
+
+    def _constructed_class(self, sf: SourceFile, call: ast.Call) -> str | None:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        last = name.rsplit(".", 1)[-1]
+        return last if last in self.classes else None
+
+
+def _is_lock_factory(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    name = dotted_name(value.func)
+    if name is None:
+        return False
+    return name.rsplit(".", 1)[-1] in _LOCK_FACTORIES
+
+
+def build_index(files: list[SourceFile], config: LintConfig) -> ProgramIndex:
+    index = ProgramIndex(files=files, config=config)
+    for sf in files:
+        index.file_of[sf.module] = sf
+        from_imports: dict[str, str] = {}
+        aliases: dict[str, str] = {}
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = node.module
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = alias.name
+        index.imports[sf.module] = from_imports
+        index.module_aliases[sf.module] = aliases
+
+        for node in sf.tree.body:
+            if isinstance(node, ast.ClassDef):
+                index.classes[node.name] = sf.module
+
+        for cls, fn in iter_functions(sf):
+            key = f"{sf.module}:{cls + '.' if cls else ''}{fn.name}"
+            info = FunctionInfo(
+                key=key,
+                module=sf.module,
+                cls=cls,
+                name=fn.name,
+                node=fn,
+                params=tuple(
+                    a.arg for a in fn.args.args + fn.args.kwonlyargs
+                    if a.arg not in ("self", "cls")
+                ),
+            )
+            index.functions[key] = info
+            if cls is None:
+                index.by_name.setdefault(fn.name, []).append(key)
+            else:
+                index.methods.setdefault(fn.name, []).append(key)
+
+        # lock discovery + self-attribute typing
+        for cls, fn in iter_functions(sf):
+            if cls is None:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for tgt in node.targets:
+                    if not (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        continue
+                    if _is_lock_factory(node.value):
+                        index.locks[f"{cls}.{tgt.attr}"] = sf
+                    elif isinstance(node.value, ast.Call):
+                        ctor = index._constructed_class(sf, node.value)
+                        if ctor is not None:
+                            index.attr_types[(cls, tgt.attr)] = ctor
+        for node in sf.tree.body:
+            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        index.locks[f"{sf.module}:{tgt.id}"] = sf
+    return index
+
+
+def in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)

@@ -1,0 +1,316 @@
+"""Exception-safety resource paths (RPL060/061).
+
+The intra-module RPL020 checker asks "is every ``request``/``reserve``
+released on the failure path *of this function*?".  This pass asks the
+interprocedural version: between an acquisition and its release, does
+any call run that can **transitively** raise — through any depth of
+callees — while the acquisition is not protected by a ``try`` whose
+handler or ``finally`` releases it?  Raise capability comes from the
+summary fixpoint (:mod:`repro.lint.flow.engine` closes the syntactic
+``raise`` facts over the call graph), so a validation error three
+calls down still counts.
+
+Two rules:
+
+* **RPL060** (error) — a pool/tier reservation or queue admission
+  (``.request()``/``.reserve()``/``.admit()``) held across a
+  raise-capable call without a protected release/rollback.  Only
+  functions that visibly *own* a lifecycle are judged: they either
+  release the resource themselves or acquire more than once (the
+  partial-acquire shape, where a second acquisition's failure leaks
+  the first).
+* **RPL061** (error) — a manual ``lock.acquire()`` held across a
+  raise-capable call with the matching ``release()`` not in a
+  ``finally``; an exception leaves the lock held forever.  The fix is
+  almost always ``with lock:``.
+
+A ``with`` block never leaks and is never flagged; neither is an
+acquire whose releases live in the handlers/``finally`` of an
+enclosing ``try``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import LintConfig, SourceFile, dotted_name
+from repro.lint.flow.callgraph import FunctionInfo, ProgramIndex
+
+__all__ = ["run_resource_paths", "ResourceFinding"]
+
+_ACQUIRE_METHODS = {"request", "reserve", "admit"}
+_RELEASE_METHODS = {"release", "rollback", "free", "remove", "cancel"}
+
+
+@dataclass(frozen=True)
+class ResourceFinding:
+    rule_id: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class _Outstanding:
+    kind: str                # "lock" | "resource"
+    recv: str                # dotted receiver, e.g. "self.device_pool"
+    method: str              # the acquiring method name
+    line: int
+    protected: bool = False
+    flagged: bool = False
+
+
+@dataclass
+class _FnContext:
+    index: ProgramIndex
+    config: LintConfig
+    sf: SourceFile
+    info: FunctionInfo
+    t_raises: dict[str, bool]
+    local_types: dict[str, str]
+    findings: list[ResourceFinding] = field(default_factory=list)
+
+
+def _related(a: str, b: str) -> bool:
+    """Receiver match: exact dotted path, or same final attribute."""
+    if a == b:
+        return True
+    return a.rsplit(".", 1)[-1] == b.rsplit(".", 1)[-1]
+
+
+def _calls_in_expr(expr: ast.expr) -> list[ast.Call]:
+    calls: list[ast.Call] = []
+
+    class V(ast.NodeVisitor):
+        def visit_Call(self, node: ast.Call) -> None:
+            calls.append(node)
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            pass
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+    V().visit(expr)
+    return calls
+
+
+def _stmt_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [
+        c for c in ast.iter_child_nodes(stmt) if isinstance(c, ast.expr)
+    ]
+
+
+def _release_receivers(stmts: list[ast.stmt]) -> list[str]:
+    out: list[str] = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE_METHODS
+            ):
+                recv = dotted_name(node.func.value)
+                if recv is not None:
+                    out.append(recv)
+    return out
+
+
+class _FunctionWalker:
+    def __init__(self, ctx: _FnContext):
+        self.ctx = ctx
+        self.out: list[_Outstanding] = []
+        self._try_cleanup: list[str] = []
+
+    # -- classification -------------------------------------------------
+    def _is_known_lock(self, recv_expr: ast.expr) -> bool:
+        name = dotted_name(recv_expr)
+        if name is None:
+            return False
+        if name.startswith("self.") and self.ctx.info.cls is not None:
+            return (
+                f"{self.ctx.info.cls}.{name[5:]}" in self.ctx.index.locks
+            )
+        return f"{self.ctx.sf.module}:{name}" in self.ctx.index.locks
+
+    def _call_raises(self, call: ast.Call) -> str | None:
+        """Name of the raise-capable callee, or None."""
+        key = self.ctx.index.resolve_call(
+            self.ctx.sf, self.ctx.info.cls, call, self.ctx.local_types
+        )
+        if key is not None and self.ctx.t_raises.get(key):
+            return self.ctx.index.functions[key].name
+        return None
+
+    # -- the walk -------------------------------------------------------
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                # a with-managed lock/resource cannot leak
+                self.walk(stmt.body)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk_try(stmt)
+                continue
+            if isinstance(stmt, ast.Raise):
+                self._flag_outstanding("an explicit raise", stmt.lineno)
+                continue
+            if isinstance(stmt, ast.Return):
+                # a return hands the resource out: the caller owns it now
+                self.out = [o for o in self.out if o.kind == "lock"]
+            for expr in _stmt_exprs(stmt):
+                for call in _calls_in_expr(expr):
+                    self._handle_call(call)
+            for attr in ("body", "orelse"):
+                block = getattr(stmt, attr, None)
+                if block:
+                    self.walk(block)
+
+    def _walk_try(self, stmt: ast.Try) -> None:
+        cleanup = _release_receivers(
+            [s for h in stmt.handlers for s in h.body] + stmt.finalbody
+        )
+        toggled: list[_Outstanding] = []
+        for o in self.out:
+            if not o.protected and any(_related(o.recv, r) for r in cleanup):
+                o.protected = True
+                toggled.append(o)
+        saved = self._try_cleanup
+        pre_body = list(self.out)
+        self._try_cleanup = saved + cleanup
+        self.walk(stmt.body)
+        self._try_cleanup = saved
+        # handlers run when the body raised partway: acquisitions made
+        # inside the body may not have happened, so handlers are judged
+        # against the pre-body outstanding state
+        post_body = self.out
+        self.out = pre_body
+        for handler in stmt.handlers:
+            self.walk(handler.body)
+        self.out = post_body
+        self.walk(stmt.orelse)
+        self.walk(stmt.finalbody)
+        for o in toggled:
+            if o in self.out:
+                o.protected = False
+
+    def _handle_call(self, call: ast.Call) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            raiser = self._call_raises(call)
+            if raiser is not None:
+                self._flag_outstanding(f"{raiser}()", call.lineno)
+            return
+        attr = call.func.attr
+        recv = dotted_name(call.func.value)
+        if attr == "acquire" and self._is_known_lock(call.func.value):
+            self.out.append(
+                _Outstanding(
+                    "lock", recv or "?", attr, call.lineno,
+                    protected=any(
+                        _related(recv or "?", r) for r in self._try_cleanup
+                    ),
+                )
+            )
+            return
+        if attr in _ACQUIRE_METHODS and recv is not None:
+            # the acquiring call itself may raise (e.g. an over-budget
+            # reservation) — that is exactly the partial-acquire leak
+            raiser = self._call_raises(call)
+            if raiser is not None:
+                self._flag_outstanding(f"{raiser}()", call.lineno)
+            self.out.append(
+                _Outstanding(
+                    "resource", recv, attr, call.lineno,
+                    protected=any(
+                        _related(recv, r) for r in self._try_cleanup
+                    ),
+                )
+            )
+            return
+        if attr in _RELEASE_METHODS and recv is not None:
+            for o in list(self.out):
+                if _related(o.recv, recv):
+                    self.out.remove(o)
+                    break
+            return
+        raiser = self._call_raises(call)
+        if raiser is not None:
+            self._flag_outstanding(f"{raiser}()", call.lineno)
+
+    def _flag_outstanding(self, what: str, line: int) -> None:
+        for o in self.out:
+            if o.protected or o.flagged:
+                continue
+            o.flagged = True
+            if o.kind == "lock":
+                rule, msg = "RPL061", (
+                    f"{o.recv}.acquire() (line {o.line}) is held across "
+                    f"{what}, which can raise — the lock would never be "
+                    "released; use `with` or release in a finally block"
+                )
+            else:
+                rule, msg = "RPL060", (
+                    f"{o.recv}.{o.method}() (line {o.line}) can leak: "
+                    f"{what} may raise before the release/rollback"
+                )
+            self.ctx.findings.append(
+                ResourceFinding(
+                    rule, self.ctx.info.module, line, 0, msg
+                )
+            )
+
+
+def run_resource_paths(
+    index: ProgramIndex,
+    config: LintConfig,
+    t_raises: dict[str, bool],
+) -> list[ResourceFinding]:
+    findings: list[ResourceFinding] = []
+    for info in index.functions.values():
+        sf = index.function_file(info)
+        acquires = 0
+        releases = 0
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _ACQUIRE_METHODS:
+                    acquires += 1
+                elif node.func.attr in _RELEASE_METHODS:
+                    releases += 1
+        lock_acquire = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+            for node in ast.walk(info.node)
+        )
+        # only judge functions that visibly own a lifecycle: they
+        # release in-function, or partially acquire more than once
+        if not lock_acquire and not (
+            acquires and (releases or acquires >= 2)
+        ):
+            continue
+        ctx = _FnContext(
+            index=index,
+            config=config,
+            sf=sf,
+            info=info,
+            t_raises=t_raises,
+            local_types=index.local_types(sf, info.node),
+        )
+        walker = _FunctionWalker(ctx)
+        walker.walk(list(info.node.body))
+        findings.extend(ctx.findings)
+    return findings

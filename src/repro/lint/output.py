@@ -1,28 +1,40 @@
-"""Render a :class:`LintResult` as text, JSON, or GitHub annotations.
+"""Render a :class:`LintResult` as text, JSON, GitHub, or SARIF.
 
-All three formats emit findings in a deterministic order (path, line,
-column, rule id) so golden tests and CI diffs are stable.
+All formats emit findings in a deterministic order (path, line,
+column, rule id) so golden tests and CI diffs are stable.  The SARIF
+renderer targets SARIF 2.1.0 — the interchange format GitHub code
+scanning ingests — and includes the full rule catalogue in the tool
+descriptor so suppressed runs still document what was checked.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.lint.core import Finding
+from repro.lint.core import Finding, Rule
 from repro.lint.runner import LintResult
 
 __all__ = ["FORMATS", "render"]
 
-FORMATS = ("text", "json", "github")
+FORMATS = ("text", "json", "github", "sarif")
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
-def render(result: LintResult, fmt: str) -> str:
+def render(
+    result: LintResult, fmt: str, *, rules: list[Rule] | None = None
+) -> str:
     if fmt == "text":
         return _render_text(result)
     if fmt == "json":
         return _render_json(result)
     if fmt == "github":
         return _render_github(result)
+    if fmt == "sarif":
+        return _render_sarif(result, rules or [])
     raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
 
 
@@ -97,3 +109,108 @@ def _render_github(result: LintResult) -> str:
             f"file ({err})"
         )
     return "\n".join(lines)
+
+
+def _sarif_level(severity: str) -> str:
+    return "error" if severity == "error" else "warning"
+
+
+def _sarif_result(
+    f: Finding, *, suppressed: bool = False, baselined: bool = False
+) -> dict[str, object]:
+    out: dict[str, object] = {
+        "ruleId": f.rule_id,
+        "level": _sarif_level(f.severity),
+        "message": {
+            "text": f.message + (f"\nhint: {f.hint}" if f.hint else "")
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": f.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed or baselined:
+        out["suppressions"] = [
+            {
+                "kind": "inSource" if suppressed else "external",
+                "justification": (
+                    "inline repro-lint suppression"
+                    if suppressed
+                    else "accepted by committed baseline"
+                ),
+            }
+        ]
+    return out
+
+
+def _render_sarif(result: LintResult, rules: list[Rule]) -> str:
+    """SARIF 2.1.0 — one run, full rule catalogue, suppressions kept."""
+    results = [_sarif_result(f) for f in result.findings]
+    results += [
+        _sarif_result(f, suppressed=True) for f in result.suppressed
+    ]
+    results += [
+        _sarif_result(f, baselined=True) for f in result.baselined
+    ]
+    for path, err in result.parse_errors:
+        results.append(
+            {
+                "ruleId": "RPL000",
+                "level": "error",
+                "message": {"text": f"unparseable file ({err})"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": [
+                            {
+                                "id": r.rule_id,
+                                "name": r.name,
+                                "shortDescription": {"text": r.summary},
+                                "help": {"text": r.hint or r.summary},
+                                "defaultConfiguration": {
+                                    "level": _sarif_level(r.severity)
+                                },
+                            }
+                            for r in sorted(
+                                rules, key=lambda r: r.rule_id
+                            )
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

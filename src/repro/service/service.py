@@ -266,8 +266,6 @@ class SolverService:
         ``timeout`` is a deadline in seconds from submission: a request
         still queued past it completes with :class:`TimeoutError`.
         """
-        if self._stop:
-            raise RuntimeError("service is shut down")
         now = time.perf_counter()
         key, canonical = matrix_key(a)
         b = np.asarray(b, dtype=np.float64)
@@ -279,6 +277,10 @@ class SolverService:
         spec = policy if policy is not None else self.policy
         sym_key, num_key = self._derive_keys(key, spec)
         with self._cond:
+            # checked under the lock: a shutdown seen here is definitive,
+            # not a stale read racing _shutdown's write
+            if self._stop:
+                raise RuntimeError("service is shut down")
             self._next_id += 1
             req = SolveRequest(
                 self._next_id, a, canonical, b,

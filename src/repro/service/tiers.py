@@ -54,7 +54,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, TypeVar
 
 from repro.service.cache import CacheLookup, FactorizationCache
 
@@ -97,7 +97,7 @@ class TierSpec:
     bandwidth: float               # bytes/s
     latency: float                 # seconds per access
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
             raise ValueError(f"tier {self.name!r}: capacity must be positive")
         if self.bandwidth <= 0:
@@ -138,7 +138,7 @@ class StorageTier:
     lock first, then the tier's, a fixed order with no cycles.
     """
 
-    def __init__(self, spec: TierSpec, *, shared: bool = False):
+    def __init__(self, spec: TierSpec, *, shared: bool = False) -> None:
         self.spec = spec
         self.shared = shared
         self._lock = threading.RLock()
@@ -161,18 +161,18 @@ class StorageTier:
     def name(self) -> str:
         return self.spec.name
 
-    def peek(self, full_key) -> TierEntry | None:
+    def peek(self, full_key: tuple[str, str]) -> TierEntry | None:
         """Entry for ``full_key`` without touching recency or stats."""
         with self._lock:
             return self._entries.get(full_key)
 
-    def touch(self, full_key) -> None:
+    def touch(self, full_key: tuple[str, str]) -> None:
         with self._lock:
             if full_key in self._entries:
                 self._entries.move_to_end(full_key)
 
     def put(
-        self, full_key, entry: TierEntry
+        self, full_key: tuple[str, str], entry: TierEntry
     ) -> tuple[bool, list[tuple[tuple[str, str], TierEntry]]]:
         """Insert ``entry``; returns ``(accepted, lru_evicted)``.
 
@@ -203,7 +203,7 @@ class StorageTier:
             self.stats["write_bytes"] += entry.nbytes
             return True, evicted
 
-    def remove(self, full_key) -> TierEntry | None:
+    def remove(self, full_key: tuple[str, str]) -> TierEntry | None:
         with self._lock:
             entry = self._entries.pop(full_key, None)
             if entry is not None:
@@ -249,7 +249,8 @@ class PlacementPolicy:
     name = "placement"
 
     def should_spill(
-        self, full_key, entry: TierEntry, tier: StorageTier
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier,
     ) -> bool:
         raise NotImplementedError
 
@@ -261,7 +262,7 @@ class TransferPolicy:
 
     def should_promote(
         self,
-        full_key,
+        full_key: tuple[str, str],
         entry: TierEntry,
         tier: StorageTier,
         cache: "TieredFactorCache",
@@ -282,22 +283,32 @@ PLACEMENT_POLICIES: dict[str, Callable[..., PlacementPolicy]] = {}
 TRANSFER_POLICIES: dict[str, Callable[..., TransferPolicy]] = {}
 TTL_POLICIES: dict[str, Callable[..., TtlPolicy]] = {}
 
+_P = TypeVar("_P")
 
-def _register(registry: dict, name: str):
-    def deco(factory):
+
+def _register(
+    registry: dict[str, Callable[..., _P]], name: str
+) -> Callable[[type[_P]], type[_P]]:
+    def deco(factory: type[_P]) -> type[_P]:
         if name in registry:
             raise ValueError(f"duplicate policy {name!r}")
         registry[name] = factory
-        factory.name = name
+        factory.name = name  # type: ignore[attr-defined]
         return factory
 
     return deco
 
 
-def _resolve(registry: dict, spec, base: type, kind: str, **kwargs):
+def _resolve(
+    registry: dict[str, Callable[..., _P]],
+    spec: "str | _P",
+    base: "type[_P]",
+    kind: str,
+    **kwargs: object,
+) -> _P:
     if isinstance(spec, base):
         return spec
-    factory = registry.get(spec)
+    factory = registry.get(str(spec))
     if factory is None:
         raise KeyError(
             f"unknown {kind} policy {spec!r}; "
@@ -306,17 +317,21 @@ def _resolve(registry: dict, spec, base: type, kind: str, **kwargs):
     return factory(**kwargs)
 
 
-def make_placement_policy(spec, **kwargs) -> PlacementPolicy:
+def make_placement_policy(
+    spec: str | PlacementPolicy, **kwargs: object
+) -> PlacementPolicy:
     return _resolve(PLACEMENT_POLICIES, spec, PlacementPolicy, "placement",
                     **kwargs)
 
 
-def make_transfer_policy(spec, **kwargs) -> TransferPolicy:
+def make_transfer_policy(
+    spec: str | TransferPolicy, **kwargs: object
+) -> TransferPolicy:
     return _resolve(TRANSFER_POLICIES, spec, TransferPolicy, "transfer",
                     **kwargs)
 
 
-def make_ttl_policy(spec, **kwargs) -> TtlPolicy:
+def make_ttl_policy(spec: str | TtlPolicy, **kwargs: object) -> TtlPolicy:
     return _resolve(TTL_POLICIES, spec, TtlPolicy, "ttl", **kwargs)
 
 
@@ -324,7 +339,10 @@ def make_ttl_policy(spec, **kwargs) -> TtlPolicy:
 class SpillPlacement(PlacementPolicy):
     """Always spill an evicted entry to the next tier that fits it."""
 
-    def should_spill(self, full_key, entry, tier) -> bool:
+    def should_spill(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier,
+    ) -> bool:
         return True
 
 
@@ -332,7 +350,10 @@ class SpillPlacement(PlacementPolicy):
 class DropPlacement(PlacementPolicy):
     """Legacy drop-on-evict: nothing ever spills (the bench baseline)."""
 
-    def should_spill(self, full_key, entry, tier) -> bool:
+    def should_spill(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier,
+    ) -> bool:
         return False
 
 
@@ -348,12 +369,15 @@ class ThresholdPlacement(PlacementPolicy):
     is always spilled: dropping it can only lose.
     """
 
-    def __init__(self, *, spill_factor: float = 1.0):
+    def __init__(self, *, spill_factor: float = 1.0) -> None:
         if spill_factor <= 0:
             raise ValueError("spill_factor must be positive")
         self.spill_factor = float(spill_factor)
 
-    def should_spill(self, full_key, entry, tier) -> bool:
+    def should_spill(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier,
+    ) -> bool:
         if entry.produce_seconds <= 0.0:
             return True
         write_time = tier.spec.transfer_time(entry.nbytes)
@@ -364,7 +388,10 @@ class ThresholdPlacement(PlacementPolicy):
 class PullOnRead(TransferPolicy):
     """Every lower-tier hit is promoted to RAM (if it fits at all)."""
 
-    def should_promote(self, full_key, entry, tier, cache) -> bool:
+    def should_promote(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier, cache: "TieredFactorCache",
+    ) -> bool:
         return entry.nbytes <= cache.max_bytes
 
 
@@ -372,7 +399,10 @@ class PullOnRead(TransferPolicy):
 class ReadThrough(TransferPolicy):
     """Serve lower-tier hits in place; only recency is refreshed."""
 
-    def should_promote(self, full_key, entry, tier, cache) -> bool:
+    def should_promote(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier, cache: "TieredFactorCache",
+    ) -> bool:
         return False
 
 
@@ -386,13 +416,16 @@ class CheapestTransfer(TransferPolicy):
     serve in place otherwise.
     """
 
-    def should_promote(self, full_key, entry, tier, cache) -> bool:
+    def should_promote(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        tier: StorageTier, cache: "TieredFactorCache",
+    ) -> bool:
         return entry.nbytes <= cache.max_bytes - cache.stored_bytes
 
 
 @_register(TTL_POLICIES, "no-ttl")
 class NoTtl(TtlPolicy):
-    def expired(self, inserted_at, now) -> bool:
+    def expired(self, inserted_at: float, now: float) -> bool:
         return False
 
 
@@ -400,12 +433,12 @@ class NoTtl(TtlPolicy):
 class FixedTtl(TtlPolicy):
     """Entries older than ``ttl_seconds`` (injectable clock) are dead."""
 
-    def __init__(self, *, ttl_seconds: float = 3600.0):
+    def __init__(self, *, ttl_seconds: float = 3600.0) -> None:
         if ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
         self.ttl_seconds = float(ttl_seconds)
 
-    def expired(self, inserted_at, now) -> bool:
+    def expired(self, inserted_at: float, now: float) -> bool:
         return now - inserted_at >= self.ttl_seconds
 
 
@@ -415,7 +448,7 @@ class FixedTtl(TtlPolicy):
 class ManualClock:
     """Deterministic injectable clock for TTL policies and tests."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     def advance(self, seconds: float) -> None:
@@ -520,7 +553,7 @@ class TieredFactorCache(FactorizationCache):
         transfer: str | TransferPolicy = "pull-on-read",
         ttl: str | TtlPolicy = "no-ttl",
         clock: Callable[[], float] | None = None,
-    ):
+    ) -> None:
         super().__init__(max_bytes=max_bytes)
         self._lower = list(lower_tiers) if lower_tiers else []
         names = ["ram"] + [t.name for t in self._lower]
@@ -634,11 +667,11 @@ class TieredFactorCache(FactorizationCache):
             self.stats["misses"] += 1
             return CacheLookup("miss")
 
-    def get_symbolic(self, key: str):
+    def get_symbolic(self, key: str) -> object | None:
         with self._lock:
             return self._get_any((self.SYMBOLIC, key))
 
-    def get_numeric(self, key: str):
+    def get_numeric(self, key: str) -> object | None:
         with self._lock:
             return self._get_any((self.NUMERIC, key))
 
@@ -667,11 +700,11 @@ class TieredFactorCache(FactorizationCache):
     def has_numeric(self, key: str) -> bool:
         return self.peek_numeric_entry(key) is not None
 
-    def peek_numeric(self, key: str):
+    def peek_numeric(self, key: str) -> object | None:
         entry = self.peek_numeric_entry(key)
         return entry.payload if entry is not None else None
 
-    def _get_any(self, full_key):
+    def _get_any(self, full_key: tuple[str, str]) -> object | None:
         """Find ``full_key`` in RAM or below; expire, account, promote."""
         now = self._clock()
         if full_key in self._entries:
@@ -700,7 +733,7 @@ class TieredFactorCache(FactorizationCache):
             return entry.payload
         return None
 
-    def _expire_ram(self, full_key, now: float) -> bool:
+    def _expire_ram(self, full_key: tuple[str, str], now: float) -> bool:
         inserted = self._ram_inserted_at.get(full_key)
         if inserted is None or not self.ttl.expired(inserted, now):
             return False
@@ -713,7 +746,10 @@ class TieredFactorCache(FactorizationCache):
         self.ledger["bytes_dropped"] += nbytes
         return True
 
-    def _promote(self, full_key, entry: TierEntry, source: StorageTier):
+    def _promote(
+        self, full_key: tuple[str, str], entry: TierEntry,
+        source: StorageTier,
+    ) -> None:
         """Move ``entry`` up from ``source`` into RAM (pull-on-read)."""
         source.remove(full_key)
         moves = self._lower_moves[source.name]
@@ -732,7 +768,7 @@ class TieredFactorCache(FactorizationCache):
 
     # -- insertion / spilling ----------------------------------------------
     @staticmethod
-    def _produce_seconds(payload) -> float:
+    def _produce_seconds(payload: object) -> float:
         """Modeled cost of recomputing ``payload`` (0 when unknown).
 
         Numeric factors carry their simulated factorization makespan;
@@ -744,7 +780,9 @@ class TieredFactorCache(FactorizationCache):
         except (TypeError, ValueError):
             return 0.0
 
-    def _put(self, full_key, payload, nbytes: int) -> bool:
+    def _put(
+        self, full_key: tuple[str, str], payload: object, nbytes: int
+    ) -> bool:
         nbytes = int(nbytes)
         with self._lock:
             # a fresh external insert supersedes any stale lower-tier copy
@@ -785,7 +823,9 @@ class TieredFactorCache(FactorizationCache):
                 self.ledger["bytes_inserted"] += nbytes
             return accepted
 
-    def _on_evict(self, full_key, payload, nbytes: int) -> None:
+    def _on_evict(
+        self, full_key: tuple[str, str], payload: object, nbytes: int
+    ) -> None:
         """RAM LRU eviction → spill down instead of dropping."""
         inserted_at = self._ram_inserted_at.pop(full_key, self._clock())
         entry = TierEntry(
@@ -794,7 +834,8 @@ class TieredFactorCache(FactorizationCache):
         self._spill(full_key, entry, from_index=-1, from_ram=True)
 
     def _spill(
-        self, full_key, entry: TierEntry, *, from_index: int,
+        self, full_key: tuple[str, str], entry: TierEntry, *,
+        from_index: int,
         from_ram: bool = False, in_books: bool = True,
     ) -> bool:
         """Place an evicted entry on the first acceptable tier below

@@ -68,6 +68,49 @@ def lint_source(
     return result
 
 
+def lint_sources(
+    tmp_path: Path,
+    sources: dict[str, str],
+    *,
+    config: LintConfig | None = None,
+):
+    """Lint a multi-module fixture tree with every checker.
+
+    ``sources`` maps module names to source text; each module becomes
+    one file and the whole set is analyzed together, so the
+    interprocedural (program-scope) checkers see cross-module calls.
+    """
+    paths: list[Path] = []
+    for module, source in sources.items():
+        path = tmp_path / f"{module.replace('.', '_')}.py"
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    cfg = config or LintConfig()
+    files, errors = discover_files(paths)
+    assert not errors
+    for sf, module in zip(files, sources):
+        sf.module = module
+    from repro.lint.checkers import all_checkers
+    from repro.lint.core import Finding
+
+    raw: list[Finding] = []
+    for checker in all_checkers():
+        raw.extend(checker.check(files, cfg))
+    raw.sort(key=Finding.sort_key)
+
+    from repro.lint.runner import LintResult
+
+    result = LintResult(files_checked=len(files))
+    by_path = {str(sf.path): sf for sf in files}
+    for f in raw:
+        sf = by_path.get(f.path)
+        if sf is not None and sf.is_suppressed(f):
+            result.suppressed.append(f)
+        else:
+            result.findings.append(f)
+    return result
+
+
 def rule_ids(result) -> list[str]:
     return [f.rule_id for f in result.findings]
 
@@ -75,6 +118,8 @@ def rule_ids(result) -> list[str]:
 CONC = LintConfig(concurrency_modules=("fixmod",))
 DET = LintConfig(deterministic_modules=("fixmod",))
 KEYS = LintConfig(key_modules=("fixmod",))
+DETFLOW = LintConfig(deterministic_modules=("fixdet",))
+WIRE = LintConfig(wire_modules=("fixwire",))
 
 
 # ----------------------------------------------------------------------
@@ -582,6 +627,740 @@ class TestMetricsHygiene:
 # ----------------------------------------------------------------------
 # framework: suppressions, baseline, output formats
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# RPL050-053 determinism taint (interprocedural)
+# ----------------------------------------------------------------------
+class TestDeterminismFlow:
+    def test_rpl050_wall_clock_reaches_key_sink(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def cache_key(name, t):
+                return (name, t)
+
+            def stamp(name):
+                return cache_key(name, time.time())
+        """)
+        assert "RPL050" in rule_ids(res)
+
+    def test_rpl050_negative_injected_clock(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def cache_key(name, t):
+                return (name, t)
+
+            class Stamper:
+                def __init__(self, clock):
+                    self._clock = clock
+
+                def stamp(self, name):
+                    return cache_key(name, self._clock())
+        """)
+        assert "RPL050" not in rule_ids(res)
+
+    def test_rpl050_line_suppression(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import time
+
+            def cache_key(name, t):
+                return (name, t)
+
+            def stamp(name):
+                return cache_key(name, time.time())  # repro-lint: disable=RPL050 -- replay fixture
+        """)
+        assert "RPL050" not in rule_ids(res)
+        assert "RPL050" in [f.rule_id for f in res.suppressed]
+
+    def test_rpl051_unseeded_rng_reaches_key_sink(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import random
+
+            def cache_key(name, t):
+                return (name, t)
+
+            def jitter(name):
+                return cache_key(name, random.random())
+        """)
+        assert "RPL051" in rule_ids(res)
+
+    def test_rpl051_negative_seeded_generator(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import random
+
+            def cache_key(name, t):
+                return (name, t)
+
+            def jitter(name):
+                rng = random.Random(1234)
+                return cache_key(name, rng.random())
+        """)
+        assert "RPL051" not in rule_ids(res)
+
+    def test_rpl052_id_reaches_key_sink(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def cache_key(name, t):
+                return (name, t)
+
+            def slot(obj):
+                return cache_key("slot", id(obj))
+        """)
+        assert "RPL052" in rule_ids(res)
+
+    def test_rpl052_negative_method_named_id(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def cache_key(name, t):
+                return (name, t)
+
+            def slot(registry, obj):
+                return cache_key("slot", registry.id(obj))
+        """)
+        assert "RPL052" not in rule_ids(res)
+
+    def test_rpl053_set_order_reaches_key_sink(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def cache_key(parts):
+                return tuple(parts)
+
+            def tags(names):
+                distinct = [n for n in set(names)]
+                return cache_key(distinct)
+        """)
+        assert "RPL053" in rule_ids(res)
+
+    def test_rpl053_negative_sorted_set(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def cache_key(parts):
+                return tuple(parts)
+
+            def tags(names):
+                return cache_key(sorted(set(names)))
+        """)
+        assert "RPL053" not in rule_ids(res)
+
+    def test_cross_module_wall_clock_two_hops(self, tmp_path):
+        """Source in fixa -> relay in fixb -> ledger sink in fixdet."""
+        res = lint_sources(tmp_path, {
+            "fixdet": """
+                _ledger = {}
+
+                def record(name, t):
+                    _ledger[name] = t
+            """,
+            "fixb": """
+                from fixdet import record
+
+                def relay(name, t):
+                    record(name, t)
+            """,
+            "fixa": """
+                import time
+
+                from fixb import relay
+
+                def stamp(name):
+                    relay(name, time.time())
+            """,
+        }, config=DETFLOW)
+        hits = [f for f in res.findings if f.rule_id == "RPL050"]
+        assert hits, rule_ids(res)
+        # reported at the source-side call, naming the remote sink
+        assert all(f.path.endswith("fixa.py") for f in hits)
+        assert any(
+            "relay" in f.message and "fixdet" in f.message for f in hits
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL060/061 exception-safety resource paths (interprocedural)
+# ----------------------------------------------------------------------
+class TestResourceFlow:
+    def test_rpl060_reservation_across_raising_call(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def validate(n):
+                if n < 0:
+                    raise ValueError("negative")
+
+            def grab(pool, n):
+                handle = pool.reserve(n)
+                validate(n)
+                pool.release(handle)
+                return handle
+        """)
+        assert "RPL060" in rule_ids(res)
+
+    def test_rpl060_negative_rollback_on_failure(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def validate(n):
+                if n < 0:
+                    raise ValueError("negative")
+
+            def grab(pool, n):
+                handle = pool.reserve(n)
+                try:
+                    validate(n)
+                except Exception:
+                    pool.rollback(handle)
+                    raise
+                pool.release(handle)
+                return handle
+        """)
+        assert "RPL060" not in rule_ids(res)
+
+    def test_rpl060_line_suppression(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def validate(n):
+                if n < 0:
+                    raise ValueError("negative")
+
+            def grab(pool, n):
+                handle = pool.reserve(n)
+                validate(n)  # repro-lint: disable=RPL060 -- validate cannot raise here
+                pool.release(handle)
+                return handle
+        """)
+        assert "RPL060" not in rule_ids(res)
+        assert "RPL060" in [f.rule_id for f in res.suppressed]
+
+    def test_rpl061_manual_lock_across_raising_call(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            _pool_lock = threading.Lock()
+
+            def validate(n):
+                if n < 0:
+                    raise ValueError("negative")
+
+            def bump(n):
+                _pool_lock.acquire()
+                validate(n)
+                _pool_lock.release()
+        """)
+        assert "RPL061" in rule_ids(res)
+
+    def test_rpl061_negative_release_in_finally(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            _pool_lock = threading.Lock()
+
+            def validate(n):
+                if n < 0:
+                    raise ValueError("negative")
+
+            def bump(n):
+                _pool_lock.acquire()
+                try:
+                    validate(n)
+                finally:
+                    _pool_lock.release()
+        """)
+        assert "RPL061" not in rule_ids(res)
+
+    def test_cross_module_raise_two_hops(self, tmp_path):
+        """Raise in fixc -> relay in fixb -> reservation held in fixa."""
+        res = lint_sources(tmp_path, {
+            "fixc": """
+                def validate(n):
+                    if n < 0:
+                        raise ValueError("negative")
+            """,
+            "fixb": """
+                from fixc import validate
+
+                def check(n):
+                    return validate(n)
+            """,
+            "fixa": """
+                from fixb import check
+
+                def grab(pool, n):
+                    handle = pool.reserve(n)
+                    check(n)
+                    pool.release(handle)
+                    return handle
+            """,
+        })
+        hits = [f for f in res.findings if f.rule_id == "RPL060"]
+        assert hits, rule_ids(res)
+        assert all(f.path.endswith("fixa.py") for f in hits)
+        assert any("check()" in f.message for f in hits)
+
+
+# ----------------------------------------------------------------------
+# RPL070-072 guard inference
+# ----------------------------------------------------------------------
+class TestGuardInference:
+    def test_rpl070_unguarded_write(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n = self._n + 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+
+                def reset(self):
+                    self._n = 0
+        """)
+        assert "RPL070" in rule_ids(res)
+
+    def test_rpl071_unguarded_read(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n = self._n + 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+
+                def peek(self):
+                    return self._n
+        """)
+        assert "RPL071" in rule_ids(res)
+
+    def test_rpl072_inconsistent_guard(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._aux = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n = self._n + 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+
+                def cross(self):
+                    with self._aux:
+                        return self._n
+        """)
+        assert "RPL072" in rule_ids(res)
+
+    def test_negative_all_accesses_guarded(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n = self._n + 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+
+                def reset(self):
+                    with self._lock:
+                        self._n = 0
+        """)
+        ids = rule_ids(res)
+        assert not {"RPL070", "RPL071", "RPL072"} & set(ids)
+
+    def test_negative_immutable_after_construction(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Config:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._limit = 8
+
+                def a(self):
+                    return self._limit
+
+                def b(self):
+                    return self._limit
+
+                def c(self):
+                    return self._limit
+        """)
+        assert "RPL071" not in rule_ids(res)
+
+    def test_rpl070_line_suppression(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n = self._n + 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+
+                def reset(self):
+                    self._n = 0  # repro-lint: disable=RPL070 -- single-threaded teardown
+        """)
+        assert "RPL070" not in rule_ids(res)
+        assert "RPL070" in [f.rule_id for f in res.suppressed]
+
+    # Guard inference is class-scoped by construction (an attribute and
+    # its lock live on one class), so the "cross-module" fixture for
+    # this family exercises the interprocedural mechanism itself: the
+    # entry-held lock set propagating through >= 2 private call hops,
+    # with a consumer module driving the public API.
+    TALLY = """
+        import threading
+
+        class Tally:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._step()
+
+            def read(self):
+                with self._lock:
+                    return self._n
+
+            def reset(self):
+                with self._lock:
+                    self._n = 0
+
+            def scale(self):
+                with self._lock:
+                    self._n = self._n * 2
+
+            def snap(self):
+                with self._lock:
+                    return self._n
+
+            def _step(self):
+                self._apply()
+
+            def _apply(self):
+                self._n = self._n + 1
+    """
+
+    SNEAK = """
+        import threading
+
+        class Tally:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._step()
+
+            def read(self):
+                with self._lock:
+                    return self._n
+
+            def reset(self):
+                with self._lock:
+                    self._n = 0
+
+            def scale(self):
+                with self._lock:
+                    self._n = self._n * 2
+
+            def snap(self):
+                with self._lock:
+                    return self._n
+
+            def sneak(self):
+                self._step()
+
+            def _step(self):
+                self._apply()
+
+            def _apply(self):
+                self._n = self._n + 1
+    """
+
+    DRIVER = """
+        from fixa import Tally
+
+        def drive():
+            t = Tally()
+            t.bump()
+            return t.read()
+    """
+
+    def test_two_hop_entry_held_negative(self, tmp_path):
+        """_apply is only reached via bump -> _step -> _apply, every
+        path holding the lock: the two-hop entry set keeps it clean."""
+        res = lint_sources(tmp_path, {
+            "fixa": self.TALLY,
+            "fixb": self.DRIVER,
+        })
+        ids = rule_ids(res)
+        assert not {"RPL070", "RPL071", "RPL072"} & set(ids)
+
+    def test_two_hop_entry_held_positive(self, tmp_path):
+        """One unlocked call site into the two-hop chain voids the
+        entry-held set, so _apply's write becomes the minority bug."""
+        res = lint_sources(tmp_path, {
+            "fixa": self.SNEAK,
+            "fixb": self.DRIVER,
+        })
+        assert "RPL070" in rule_ids(res)
+
+
+# ----------------------------------------------------------------------
+# RPL080-082 wire hygiene (interprocedural)
+# ----------------------------------------------------------------------
+class TestWireHygiene:
+    def test_rpl080_exception_text_in_envelope(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from repro.api.protocol import error_response
+
+            def risky():
+                raise RuntimeError("boom")
+
+            def answer(rid):
+                try:
+                    risky()
+                except Exception as exc:
+                    return error_response("internal", str(exc), request_id=rid)
+        """, module="fixwire", config=WIRE)
+        assert "RPL080" in rule_ids(res)
+
+    def test_rpl080_negative_public_message(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from repro.api.protocol import error_response, public_message
+
+            def risky():
+                raise RuntimeError("boom")
+
+            def answer(rid):
+                try:
+                    risky()
+                except Exception as exc:
+                    return error_response(
+                        "internal", public_message(exc), request_id=rid
+                    )
+        """, module="fixwire", config=WIRE)
+        assert "RPL080" not in rule_ids(res)
+
+    def test_rpl080_negative_wire_safe_exception(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from repro.api.protocol import ApiError, error_response
+
+            def risky():
+                raise ApiError("invalid_request", "bad matrix")
+
+            def answer(rid):
+                try:
+                    risky()
+                except ApiError as exc:
+                    return error_response(
+                        "invalid_request", str(exc), request_id=rid
+                    )
+        """, module="fixwire", config=WIRE)
+        assert "RPL080" not in rule_ids(res)
+
+    def test_rpl080_metric_name_sink(self, tmp_path):
+        res = lint_source(tmp_path, """
+            def risky():
+                raise RuntimeError("boom")
+
+            def tally(metrics):
+                try:
+                    risky()
+                except Exception as exc:
+                    metrics.incr(f"errors.{exc}")
+        """, module="fixwire", config=WIRE)
+        assert "RPL080" in rule_ids(res)
+
+    def test_rpl080_line_suppression(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from repro.api.protocol import error_response
+
+            def risky():
+                raise RuntimeError("boom")
+
+            def answer(rid):
+                try:
+                    risky()
+                except Exception as exc:
+                    return error_response("internal", str(exc), request_id=rid)  # repro-lint: disable=RPL080 -- test fixture
+        """, module="fixwire", config=WIRE)
+        assert "RPL080" not in rule_ids(res)
+        assert "RPL080" in [f.rule_id for f in res.suppressed]
+
+    def test_rpl081_path_in_response(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import os
+
+            from repro.api.protocol import json_response
+
+            def where(rid):
+                return json_response(
+                    200,
+                    {"spill_dir": os.path.join("/tmp", rid)},
+                    request_id=rid,
+                )
+        """, module="fixwire", config=WIRE)
+        assert "RPL081" in rule_ids(res)
+
+    def test_rpl081_negative_opaque_id(self, tmp_path):
+        res = lint_source(tmp_path, """
+            from repro.api.protocol import json_response
+
+            def where(rid, spill_index):
+                return json_response(
+                    200, {"spill": spill_index}, request_id=rid
+                )
+        """, module="fixwire", config=WIRE)
+        assert "RPL081" not in rule_ids(res)
+
+    def test_rpl082_env_value_in_response(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import os
+
+            from repro.api.protocol import json_response
+
+            def config_doc(rid):
+                return json_response(
+                    200, {"mode": os.getenv("REPRO_MODE")}, request_id=rid
+                )
+        """, module="fixwire", config=WIRE)
+        assert "RPL082" in rule_ids(res)
+
+    def test_rpl082_negative_numeric_conversion(self, tmp_path):
+        res = lint_source(tmp_path, """
+            import os
+
+            from repro.api.protocol import json_response
+
+            def config_doc(rid):
+                return json_response(
+                    200,
+                    {"port": int(os.getenv("REPRO_PORT", "0"))},
+                    request_id=rid,
+                )
+        """, module="fixwire", config=WIRE)
+        assert "RPL082" not in rule_ids(res)
+
+    def test_cross_module_exception_text_two_hops(self, tmp_path):
+        """Exception caught in fixa -> relay in fixb -> envelope in
+        fixwire."""
+        res = lint_sources(tmp_path, {
+            "fixwire": """
+                from repro.api.protocol import error_response
+
+                def emit(rid, text):
+                    return error_response("internal", text, request_id=rid)
+            """,
+            "fixb": """
+                from fixwire import emit
+
+                def relay(rid, text):
+                    return emit(rid, text)
+            """,
+            "fixa": """
+                from fixb import relay
+
+                def failed(rid):
+                    try:
+                        raise RuntimeError("boom")
+                    except Exception as exc:
+                        return relay(rid, str(exc))
+            """,
+        }, config=WIRE)
+        hits = [f for f in res.findings if f.rule_id == "RPL080"]
+        assert hits, rule_ids(res)
+        assert all(f.path.endswith("fixa.py") for f in hits)
+        assert any(
+            "relay" in f.message and "fixwire" in f.message for f in hits
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL090 suppression hygiene
+# ----------------------------------------------------------------------
+class TestSuppressionHygiene:
+    SRC = """
+        import time
+
+        def stamp():
+            return time.perf_counter(){inline}
+    """
+
+    def test_bare_suppression_warns(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(inline="  # repro-lint: disable=RPL010"),
+            config=DET,
+        )
+        ids = rule_ids(res)
+        assert "RPL090" in ids
+        assert "RPL010" not in ids  # still suppressed, just audited
+
+    def test_justified_suppression_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(
+                inline="  # repro-lint: disable=RPL010 -- budget clock"
+            ),
+            config=DET,
+        )
+        assert "RPL090" not in rule_ids(res)
+
+    def test_bare_blanket_disable_cannot_hide_rpl090(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(inline="  # repro-lint: disable"),
+            config=DET,
+        )
+        assert "RPL090" in rule_ids(res)
+
+    def test_explicit_rpl090_mention_suppresses_the_warning(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(
+                inline="  # repro-lint: disable=RPL010,RPL090"
+            ),
+            config=DET,
+        )
+        assert "RPL090" not in rule_ids(res)
+        assert "RPL090" in [f.rule_id for f in res.suppressed]
+
+    def test_bare_file_scope_suppression_warns(self, tmp_path):
+        src = (
+            "# repro-lint: disable-file=RPL010\n"
+            + textwrap.dedent(self.SRC.format(inline=""))
+        )
+        res = lint_source(tmp_path, src, config=DET)
+        assert "RPL090" in rule_ids(res)
+
+
 class TestSuppressions:
     SRC = """
         import time
@@ -610,7 +1389,9 @@ class TestSuppressions:
     def test_line_suppression_wrong_rule_still_fires(self, tmp_path):
         res = lint_source(
             tmp_path,
-            self.SRC.format(inline="  # repro-lint: disable=RPL011"),
+            self.SRC.format(
+                inline="  # repro-lint: disable=RPL011 -- wrong rule on purpose"
+            ),
             config=DET,
         )
         assert rule_ids(res) == ["RPL010"]
@@ -618,7 +1399,9 @@ class TestSuppressions:
     def test_blanket_line_suppression(self, tmp_path):
         res = lint_source(
             tmp_path,
-            self.SRC.format(inline="  # repro-lint: disable"),
+            self.SRC.format(
+                inline="  # repro-lint: disable -- blanket for the fixture"
+            ),
             config=DET,
         )
         assert rule_ids(res) == []
@@ -720,6 +1503,158 @@ class TestOutputFormats:
         """, config=DET)
         lines = [f.line for f in res.findings]
         assert lines == sorted(lines)
+
+
+class TestSarifFormat:
+    SRC = """
+        import time
+
+        def stamp():
+            return time.perf_counter(){inline}
+    """
+
+    def test_sarif_document_shape(self, tmp_path):
+        res = lint_source(
+            tmp_path, self.SRC.format(inline=""), config=DET
+        )
+        doc = json.loads(render(res, "sarif", rules=all_rules()))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        catalogue = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for rid in ("RPL010", "RPL050", "RPL060", "RPL070", "RPL080",
+                    "RPL090"):
+            assert rid in catalogue
+        hit = run["results"][0]
+        assert hit["ruleId"] == "RPL010"
+        assert hit["level"] == "error"
+        region = hit["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+        assert "suppressions" not in hit
+
+    def test_sarif_suppressed_finding_is_marked(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            self.SRC.format(
+                inline="  # repro-lint: disable=RPL010 -- budget clock"
+            ),
+            config=DET,
+        )
+        doc = json.loads(render(res, "sarif", rules=all_rules()))
+        results = doc["runs"][0]["results"]
+        marked = [r for r in results if r.get("suppressions")]
+        assert marked
+        assert marked[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_sarif_registered_format(self):
+        from repro.lint.output import FORMATS
+
+        assert "sarif" in FORMATS
+
+
+class TestIncrementalCache:
+    # impure key function: one deterministic file-scope finding (RPL030)
+    SRC = "def cache_key(a):\n    import os\n    return os.getenv('X')\n"
+
+    def _cache(self, tmp_path):
+        from repro.lint.cache import LintCache
+
+        return LintCache(tmp_path / ".lint-cache")
+
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        p = tmp_path / "mod.py"
+        p.write_text(self.SRC)
+        cold = self._cache(tmp_path)
+        r1 = run_lint([p], cache=cold)
+        assert cold.hits == 0
+        cold.save()
+
+        warm = self._cache(tmp_path)
+        r2 = run_lint([p], cache=warm)
+        assert warm.misses == 0
+        assert warm.hits >= 2  # one file entry + the program tree entry
+        assert rule_ids(r1) == rule_ids(r2) == ["RPL030"]
+
+    def test_edit_invalidates(self, tmp_path):
+        p = tmp_path / "mod.py"
+        p.write_text(self.SRC)
+        cold = self._cache(tmp_path)
+        run_lint([p], cache=cold)
+        cold.save()
+
+        p.write_text("def cache_key(a):\n    return ('k', a)\n")
+        warm = self._cache(tmp_path)
+        r2 = run_lint([p], cache=warm)
+        assert warm.misses > 0
+        assert rule_ids(r2) == []
+
+    def test_suppressions_reapplied_on_cache_hit(self, tmp_path):
+        # the cache stores *raw* findings; editing only the suppression
+        # comment must change the outcome (the file key covers text)
+        p = tmp_path / "mod.py"
+        p.write_text(self.SRC)
+        cold = self._cache(tmp_path)
+        r1 = run_lint([p], cache=cold)
+        assert rule_ids(r1) == ["RPL030"]
+        cold.save()
+
+        p.write_text(
+            "def cache_key(a):\n    import os\n"
+            "    return os.getenv('X')"
+            "  # repro-lint: disable=RPL030 -- fixture\n"
+        )
+        warm = self._cache(tmp_path)
+        r2 = run_lint([p], cache=warm)
+        assert rule_ids(r2) == []
+        assert [f.rule_id for f in r2.suppressed] == ["RPL030"]
+
+    def test_save_writes_gitignore_and_prunes(self, tmp_path):
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text(self.SRC)
+        b.write_text("def helper(x):\n    return x\n")
+        cache = self._cache(tmp_path)
+        run_lint([a, b], cache=cache)
+        cache.save()
+        root = tmp_path / ".lint-cache"
+        assert (root / ".gitignore").read_text() == "*\n"
+        assert len(json.loads((root / "files.json").read_text())) == 2
+
+        # next run over a smaller tree prunes the stale entry on save
+        cache2 = self._cache(tmp_path)
+        run_lint([a], cache=cache2)
+        cache2.save()
+        assert len(json.loads((root / "files.json").read_text())) == 1
+
+    def test_config_fingerprint_is_canonical(self):
+        from repro.lint.cache import _config_fingerprint
+
+        assert _config_fingerprint(LintConfig()) == _config_fingerprint(
+            LintConfig()
+        )
+        assert _config_fingerprint(LintConfig()) != _config_fingerprint(
+            DET
+        )
+
+
+class TestFilterToPaths:
+    def test_reporting_narrows_but_accounting_survives(self, tmp_path):
+        from repro.lint.runner import filter_to_paths
+
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text(
+            "def cache_key(x):\n    import os\n    return os.getenv('X')\n"
+        )
+        b.write_text(
+            "def data_key(x):\n    import os\n    return os.getenv('Y')\n"
+        )
+        result = run_lint([a, b])
+        assert len(result.findings) == 2
+
+        narrowed = filter_to_paths(result, {a})
+        assert [Path(f.path).name for f in narrowed.findings] == ["a.py"]
+        # the analysis still covered the whole tree
+        assert narrowed.files_checked == 2
 
 
 class TestFramework:

@@ -15,6 +15,20 @@ defects, all fixed in the same change that introduced the linter:
 5. service spans used ``worker{i}`` engine names the Chrome-trace
    exporter cannot lane-sort (RPL041).
 
+The interprocedural flow pass (RPL05x-08x) surfaced three more, fixed
+in the change that introduced it:
+
+6. ``ApiApp.handle`` put ``f"{type(exc).__name__}: {exc}"`` in the
+   catch-all error envelope, leaking internal exception types and
+   messages to the wire (RPL080, api/app.py — now ``public_message``);
+7. ``ApiApp._process_entry`` routed raw ``str(exc)`` through
+   ``_finish`` into the job/waiter error envelope — the same leak, one
+   call hop removed (RPL080, api/app.py);
+8. ``SolverService.submit`` read ``self._stop`` before taking
+   ``self._cond`` while every other access held it, racing
+   ``_shutdown``'s write (RPL071, service/service.py — the check now
+   lives inside the locked section).
+
 Each test here pins either the fixed runtime behaviour or — for the
 lock-discipline fixes whose behaviour is timing-dependent — that the
 *pre-fix code shape* still trips the linter, so the defect cannot be
@@ -270,6 +284,188 @@ class TestSpanEngineNames:
                     self.metrics.span("n", "solve", engine, 0.0, 1.0)
         """)
         assert "RPL041" in ids
+
+
+# ----------------------------------------------------------------------
+# 6 + 7: exception text leaking into /v1 envelopes
+# ----------------------------------------------------------------------
+class TestWireLeakShapes:
+    def test_prefix_handle_catch_all_shape_still_fires_rpl080(self):
+        # the original ApiApp.handle catch-all envelope
+        ids = lint_snippet("""
+            from repro.api.protocol import error_response
+
+            class ApiApp:
+                def handle(self, request, rid):
+                    try:
+                        return self._route(request, rid)
+                    except Exception as exc:
+                        return error_response(
+                            "internal",
+                            f"{type(exc).__name__}: {exc}",
+                            request_id=rid,
+                        )
+        """, module="repro.api.fake")
+        assert "RPL080" in ids
+
+    def test_fixed_handle_public_message_is_clean(self):
+        ids = lint_snippet("""
+            from repro.api.protocol import error_response, public_message
+
+            class ApiApp:
+                def handle(self, request, rid):
+                    try:
+                        return self._route(request, rid)
+                    except Exception as exc:
+                        return error_response(
+                            "internal", public_message(exc), request_id=rid
+                        )
+        """, module="repro.api.fake")
+        assert "RPL080" not in ids
+
+    def test_prefix_process_entry_chain_still_fires_rpl080(self):
+        # the original _process_entry -> _finish error chain: the raw
+        # exception text crosses one call hop before hitting the wire
+        ids = lint_snippet("""
+            from repro.api.protocol import error_response
+
+            class ApiApp:
+                def _process_entry(self, entry):
+                    try:
+                        out = self._run(entry)
+                    except ValueError as exc:
+                        self._finish(entry, ("invalid_request", str(exc)))
+                    else:
+                        self._finish(entry, None)
+
+                def _finish(self, entry, error):
+                    if error is not None:
+                        code, message = error
+                        return error_response(
+                            code, message, request_id=entry
+                        )
+        """, module="repro.api.fake")
+        assert "RPL080" in ids
+
+    def test_fixed_process_entry_chain_is_clean(self):
+        ids = lint_snippet("""
+            from repro.api.protocol import error_response, public_message
+
+            class ApiApp:
+                def _process_entry(self, entry):
+                    try:
+                        out = self._run(entry)
+                    except ValueError as exc:
+                        self._finish(
+                            entry, ("invalid_request", public_message(exc))
+                        )
+                    else:
+                        self._finish(entry, None)
+
+                def _finish(self, entry, error):
+                    if error is not None:
+                        code, message = error
+                        return error_response(
+                            code, message, request_id=entry
+                        )
+        """, module="repro.api.fake")
+        assert "RPL080" not in ids
+
+    def test_public_message_collapses_internal_exceptions(self):
+        from repro.api.protocol import ApiError, public_message
+
+        class Oops(Exception):
+            pass
+
+        # internal type + message never reach the caller
+        assert public_message(Oops("/srv/host/secret")) == "internal error"
+        # whitelisted domain validation text passes through
+        assert (
+            public_message(ValueError("rhs must have 4 rows"))
+            == "rhs must have 4 rows"
+        )
+        # ApiError messages are crafted for the wire by definition
+        assert (
+            public_message(ApiError("invalid_request", "bad matrix"))
+            == "bad matrix"
+        )
+
+
+# ----------------------------------------------------------------------
+# 8: shutdown flag read outside the queue condition
+# ----------------------------------------------------------------------
+class TestStopFlagGuardShape:
+    def test_prefix_stop_check_outside_cond_still_fires_rpl071(self):
+        # the original SolverService.submit entry: _stop checked before
+        # taking _cond, while _shutdown writes it under _cond
+        ids = lint_snippet("""
+            import threading
+
+            class SolverService:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._stop = False
+                    self._queue = []
+
+                def submit(self, a, b):
+                    if self._stop:
+                        raise RuntimeError("service is shut down")
+                    with self._cond:
+                        self._queue.append((a, b))
+
+                def shutdown(self):
+                    with self._cond:
+                        self._stop = True
+
+                def poll(self):
+                    with self._cond:
+                        return self._stop
+
+                def drain(self):
+                    with self._cond:
+                        return self._stop
+        """)
+        assert "RPL071" in ids
+
+    def test_fixed_stop_check_under_cond_is_clean(self):
+        ids = lint_snippet("""
+            import threading
+
+            class SolverService:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._stop = False
+                    self._queue = []
+
+                def submit(self, a, b):
+                    with self._cond:
+                        if self._stop:
+                            raise RuntimeError("service is shut down")
+                        self._queue.append((a, b))
+
+                def shutdown(self):
+                    with self._cond:
+                        self._stop = True
+
+                def poll(self):
+                    with self._cond:
+                        return self._stop
+
+                def drain(self):
+                    with self._cond:
+                        return self._stop
+        """)
+        assert "RPL071" not in ids
+
+    def test_submit_after_shutdown_raises(self, lap2d_small):
+        import numpy as np
+
+        from repro.service import SolverService
+
+        svc = SolverService(n_workers=1, policy="P1")
+        svc.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            svc.submit(lap2d_small, np.ones(lap2d_small.n_rows))
 
 
 # ----------------------------------------------------------------------
