@@ -47,6 +47,7 @@ from repro.policies import (
     Worker,
     make_policy,
 )
+from repro.multifrontal.batched import BatchParams
 from repro.symbolic import AmalgamationParams, SymbolicFactor, symbolic_factorize
 from repro.gpu import SimulatedNode, tesla_t10_model
 
@@ -74,6 +75,7 @@ __all__ = [
     "SymbolicFactor",
     "symbolic_factorize",
     "AmalgamationParams",
+    "BatchParams",
     "SimulatedNode",
     "tesla_t10_model",
     "__version__",

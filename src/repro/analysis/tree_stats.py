@@ -35,6 +35,7 @@ class TreeProfile:
     calls_by_depth: np.ndarray
     widths: np.ndarray                # per-supernode k
     max_front: int                    # largest k + m
+    amalgamation: str = "default"     # preset label of the profiled tree
 
     @property
     def mean_width(self) -> float:
@@ -51,8 +52,17 @@ def _supernode_depths(sf: SymbolicFactor) -> np.ndarray:
     return depth
 
 
-def profile_tree(sf: SymbolicFactor) -> TreeProfile:
-    """Compute the tree profile of a symbolic factorization."""
+def profile_tree(
+    sf: SymbolicFactor, *, amalgamation: str = "default"
+) -> TreeProfile:
+    """Compute the tree profile of a symbolic factorization.
+
+    The profile describes ``sf`` exactly as given — post-amalgamation:
+    fronts, widths and depth are those of the supernode partition the
+    numeric phase will actually execute, not the fundamental one.
+    ``amalgamation`` is a label recording which preset produced ``sf``
+    (callers that amalgamated by hand can pass anything descriptive).
+    """
     mk = sf.mk_pairs()
     m, k = mk[:, 0], mk[:, 1]
     flops = np.array(
@@ -79,6 +89,7 @@ def profile_tree(sf: SymbolicFactor) -> TreeProfile:
         calls_by_depth=calls_by_depth,
         widths=k.copy(),
         max_front=int((m + k).max()) if mk.size else 0,
+        amalgamation=amalgamation,
     )
 
 
@@ -86,7 +97,8 @@ def format_profile(profile: TreeProfile, *, max_levels: int = 8) -> str:
     """Human-readable rendering of a tree profile."""
     lines = [
         f"n = {profile.n}, supernodes = {profile.n_supernodes}, "
-        f"tree depth = {profile.depth}",
+        f"tree depth = {profile.depth} "
+        f"(amalgamation: {profile.amalgamation})",
         f"nnz(L) = {profile.nnz_factor}, factor flops = {profile.total_flops:.4g}",
         f"small calls (k<=500, m<=1000): {profile.small_call_fraction:.1%}",
         f"flops in the 10 largest calls: {profile.flops_in_top10_calls:.1%}",

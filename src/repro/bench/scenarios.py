@@ -221,6 +221,107 @@ _register(Scenario(
 
 
 # ----------------------------------------------------------------------
+# relaxed amalgamation + batched small fronts (the granularity unlock)
+# ----------------------------------------------------------------------
+#: leaf fronts at or below this many rows are stacked by the scenario
+AMALG_BATCH_CUTOFF = 32
+
+
+def _tree_assembly_bytes(sf) -> float:
+    """Vectorized :func:`repro.multifrontal.frontal.assembly_bytes` summed
+    over the whole tree: each front's zero-fill plus, for every non-root
+    supernode, the read-modify-write of its update block into its parent."""
+    sizes = np.array([r.size for r in sf.rows], dtype=np.float64)
+    widths = np.diff(sf.super_ptr).astype(np.float64)
+    m = sizes - widths
+    child = np.asarray(sf.sparent) >= 0
+    return float((sizes ** 2).sum() * 8.0 + 2.0 * 8.0 * (m[child] ** 2).sum())
+
+
+def _tree_flops(sf) -> float:
+    """Vectorized sum of ``factor_update_flops`` over the tree."""
+    sizes = np.array([r.size for r in sf.rows], dtype=np.float64)
+    k = np.diff(sf.super_ptr).astype(np.float64)
+    m = sizes - k
+    return float((k ** 3 / 3.0 + m * k ** 2 + m ** 2 * k).sum())
+
+
+def _amalgamated_factorize(suite: SuiteCache):
+    from repro.gpu import SimulatedNode
+    from repro.multifrontal import factorize_numeric
+    from repro.multifrontal.batched import BatchParams
+
+    node = SimulatedNode(model=suite.model, n_cpus=1, n_gpus=1)
+    return factorize_numeric(
+        suite.matrix(FACTOR_MATRIX),
+        suite.symbolic(FACTOR_MATRIX, amalgamation="aggressive"),
+        suite.policy("P1"),
+        node=node,
+        batching=BatchParams(front_cutoff=AMALG_BATCH_CUTOFF),
+    )
+
+
+def _amalgamated_run(suite: SuiteCache) -> Measurement:
+    from repro.verify.lattice import factor_fingerprint
+
+    nf = _amalgamated_factorize(suite)
+    sf = suite.symbolic(FACTOR_MATRIX, amalgamation="aggressive")
+    sf_base = suite.symbolic(FACTOR_MATRIX)
+    flops = float(sum(r.total_flops for r in nf.records))
+    flops_base = _tree_flops(sf_base)
+    asm = _tree_assembly_bytes(sf)
+    asm_base = _tree_assembly_bytes(sf_base)
+    det: dict[str, object] = {
+        "simulated_seconds": float(nf.makespan),
+        "assembly_seconds": float(nf.assembly_seconds),
+        "total_flops": flops,
+        "baseline_total_flops": flops_base,
+        "fu_calls": len(nf.records),
+        "n": int(sf.n),
+        "amalgamated_supernodes": int(sf.n_supernodes),
+        "baseline_supernodes": int(sf_base.n_supernodes),
+        "amalgamated_nnz_factor": int(sf.nnz_factor),
+        "baseline_nnz_factor": int(sf_base.nnz_factor),
+        "amalgamated_assembly_bytes": asm,
+        "baseline_assembly_bytes": asm_base,
+        "batch_tasks": int(nf.batch_tasks),
+        "batched_fronts": int(nf.batched_fronts),
+        "task_dispatches": int(nf.task_dispatches),
+        "baseline_task_dispatches": int(sf_base.n_supernodes),
+        "peak_update_bytes": int(nf.peak_update_bytes),
+        # relation gates: 1-valued counters pinning the speedup's
+        # structural preconditions, hard-failed by ``bench --check``
+        "gate.amalgamated_fewer_fronts": int(
+            sf.n_supernodes < sf_base.n_supernodes
+        ),
+        "gate.amalgamated_less_assembly": int(asm < asm_base),
+        "gate.batching_fewer_dispatches": int(
+            nf.task_dispatches < sf_base.n_supernodes
+            and nf.task_dispatches < sf.n_supernodes
+        ),
+        # the fill the relaxation buys may cost flops, but boundedly so
+        "gate.flop_overhead_bounded": int(flops <= 1.5 * flops_base),
+    }
+    det.update(_policy_count_counters(nf.records))
+    det.update(_node_counters(nf.node))
+    return Measurement(det, {"factor_fingerprint": factor_fingerprint(nf)})
+
+
+_register(Scenario(
+    name="factorize-amalgamated",
+    description=(
+        f"factorize {FACTOR_MATRIX} on the aggressively amalgamated tree "
+        f"with leaf fronts <= {AMALG_BATCH_CUTOFF} rows batched into "
+        "stacked kernels; gates fronts/assembly/dispatch reductions vs "
+        "the default tree (wall: compare to factorize-serial-p1)"
+    ),
+    run=_amalgamated_run,
+    prepare=lambda suite: _amalgamated_run(suite) and None,
+    tags=("deterministic", "factorize", "amalgamation"),
+))
+
+
+# ----------------------------------------------------------------------
 # paper-scale policy replays (P1 / P4 / P_BH / P_MH)
 # ----------------------------------------------------------------------
 _REPLAY_POLICIES = {

@@ -51,14 +51,21 @@ class SuiteCache:
             self._matrices[name] = spec.build()
         return self._matrices[name]
 
-    def symbolic(self, name: str):
-        if name not in self._symbolic:
-            from repro.symbolic import symbolic_factorize
+    def symbolic(self, name: str, amalgamation: str = "default"):
+        """Symbolic factorization of ``name`` under an amalgamation preset
+        (``default | off | aggressive``), memoized per preset."""
+        key = name if amalgamation == "default" else (name, amalgamation)
+        if key not in self._symbolic:
+            from repro.symbolic import amalgamation_preset, symbolic_factorize
 
-            self._symbolic[name] = symbolic_factorize(
-                self.matrix(name), ordering="nd"
+            params = (
+                None if amalgamation == "default"
+                else amalgamation_preset(amalgamation)
             )
-        return self._symbolic[name]
+            self._symbolic[key] = symbolic_factorize(
+                self.matrix(name), ordering="nd", amalgamation=params
+            )
+        return self._symbolic[key]
 
     # ---- paper-scale workloads ----------------------------------------
     def workload(self, name: str):

@@ -114,26 +114,39 @@ def cmd_analyze(args) -> int:
 def cmd_profile(args) -> int:
     from repro.analysis import format_profile, profile_tree
 
+    amalgamation = getattr(args, "amalgamation", "default")
     if args.workload:
         from repro.workload import paper_workload
 
         sf = paper_workload(args.matrix)
         title = f"paper-scale workload {args.matrix}"
     else:
-        from repro.symbolic import symbolic_factorize
+        from repro.symbolic import amalgamation_preset, symbolic_factorize
 
-        sf = symbolic_factorize(_load_matrix(args.matrix), ordering=args.ordering)
+        sf = symbolic_factorize(
+            _load_matrix(args.matrix), ordering=args.ordering,
+            amalgamation=amalgamation_preset(amalgamation),
+        )
         title = args.matrix
     print(f"tree profile of {title}:")
-    print(format_profile(profile_tree(sf)))
+    print(format_profile(profile_tree(sf, amalgamation=amalgamation)))
     return 0
 
 
 def cmd_solve(args) -> int:
-    from repro.multifrontal import SparseCholeskySolver
+    from repro.multifrontal import BatchParams, SparseCholeskySolver
+    from repro.symbolic import amalgamation_preset
 
     a = _load_matrix(args.matrix)
-    solver = SparseCholeskySolver(a, ordering=args.ordering, policy=args.policy)
+    batching = (
+        BatchParams(front_cutoff=args.batch_cutoff)
+        if args.batch_cutoff > 0 else None
+    )
+    solver = SparseCholeskySolver(
+        a, ordering=args.ordering, policy=args.policy,
+        amalgamation=amalgamation_preset(args.amalgamation),
+        batching=batching,
+    )
     solver.analyze().factorize()
     if args.rhs == "ones":
         b = np.ones(a.n_rows)
@@ -836,6 +849,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--policy", default="baseline")
     s.add_argument("--ordering", default="nd",
                    choices=("natural", "amd", "rcm", "nd"))
+    s.add_argument("--amalgamation", default="default",
+                   choices=("default", "off", "aggressive"),
+                   help="supernode amalgamation preset")
+    s.add_argument("--batch-cutoff", type=int, default=0,
+                   help="stack same-shape leaf fronts up to this size "
+                        "into one batched call (0 disables)")
     s.add_argument("--rhs", default="ones",
                    help="'ones' or a path to a text vector")
     s.add_argument("--tol", type=float, default=1e-12)
@@ -847,6 +866,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "with --workload")
     pr.add_argument("--ordering", default="nd",
                     choices=("natural", "amd", "rcm", "nd"))
+    pr.add_argument("--amalgamation", default="default",
+                    choices=("default", "off", "aggressive"),
+                    help="supernode amalgamation preset (file inputs only)")
     pr.add_argument("--workload", action="store_true",
                     help="treat MATRIX as a repro.workload name")
 

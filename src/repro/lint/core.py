@@ -247,6 +247,8 @@ class LintConfig:
         "repro.bench",
         "repro.cluster",
         "repro.service.tiers",
+        "repro.multifrontal.batched",
+        "repro.symbolic.supernodes",
     )
     #: modules whose functions feed cache keys (plus any ``*_key`` fn)
     key_modules: tuple[str, ...] = ("repro.service.keys",)

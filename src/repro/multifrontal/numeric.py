@@ -21,6 +21,12 @@ from repro.dense.kernels import NotPositiveDefiniteError
 from repro.gpu.allocator import DeviceMemoryError
 from repro.gpu.device import SimulatedNode
 from repro.matrices.csc import CSCMatrix
+from repro.multifrontal.batched import (
+    BatchGroup,
+    BatchParams,
+    batched_factor_update,
+    resolve_batchable_groups,
+)
 from repro.multifrontal.frontal import (
     assemble_front_planned,
     assembly_bytes,
@@ -65,10 +71,20 @@ class NumericFactor:
     node: SimulatedNode
     peak_update_bytes: int = 0
     assembly_seconds: float = 0.0
+    #: batched small-front execution: stacked calls issued / fronts they
+    #: covered (both 0 when batching was off or found nothing to group)
+    batch_tasks: int = 0
+    batched_fronts: int = 0
 
     @property
     def n(self) -> int:
         return self.sf.n
+
+    @property
+    def task_dispatches(self) -> int:
+        """Number of per-front work dispatches the factorization issued:
+        every unbatched supernode is one dispatch, every batch group one."""
+        return self.sf.n_supernodes - self.batched_fronts + self.batch_tasks
 
     def simulated_time(self) -> float:
         return self.makespan
@@ -129,6 +145,7 @@ def factorize_numeric(
     *,
     node: SimulatedNode | None = None,
     spost: "np.ndarray | None" = None,
+    batching: BatchParams | None = None,
 ) -> NumericFactor:
     """Factor ``P A P^T = L L^T`` under ``policy`` on a (possibly fresh)
     simulated node, serially on worker 0.
@@ -148,6 +165,10 @@ def factorize_numeric(
         Alternative supernode schedule (must be a valid postorder, e.g.
         from :func:`repro.symbolic.stack.stack_minimizing_postorder`);
         defaults to ``sf.spost``.
+    batching : BatchParams, optional
+        Batch same-shape leaf fronts at or below ``front_cutoff`` rows
+        into single stacked kernel calls (host P1 groups only; numerics
+        are bit-identical to the per-front path).  Default: off.
     """
     if node is None:
         node = SimulatedNode(n_cpus=1, n_gpus=1)
@@ -173,9 +194,74 @@ def factorize_numeric(
 
     from repro.gpu.clock import TaskGraph, schedule_graph
 
+    groups, batch_of = resolve_batchable_groups(sf, policy, batching, worker)
+    batched_fronts = sum(len(g) for g in groups)
+    batch_tasks = 0
+    #: per-member (panel, update) produced by a stacked group execution,
+    #: consumed when the member's turn comes in the postorder walk
+    batch_results: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+    batch_span: dict[tuple[int, int], tuple[object, float, float, dict]] = {}
+
+    def run_batch(g: BatchGroup) -> None:
+        nonlocal batch_tasks, assembly_seconds
+        b = len(g)
+        stack = np.empty((b, g.size, g.size), dtype=np.float64)
+        for i, sid in enumerate(g.sids):
+            stack[i] = assemble_front_planned(plan, a_data, g.size, sid, [])
+        # one dispatched task chain for the whole group: assembly of all
+        # members, then the P1 kernel sequence at B-scaled durations
+        t_asm = b * node.model.host_memory_time(assembly_bytes(g.size, []))
+        graph = TaskGraph()
+        tag = f"batch:{g.size}x{g.k}"
+        asm = graph.add(f"assemble:{tag}", worker.cpu_engine, t_asm, (), "assemble")
+        t_potrf = node.model.kernel_time("cpu", "potrf", k=g.k)
+        last = graph.add(
+            f"potrf:{tag}", worker.cpu_engine, b * t_potrf, (asm,), "potrf"
+        )
+        single = {"potrf": t_potrf}
+        if g.m > 0:
+            t_trsm = node.model.kernel_time("cpu", "trsm", m=g.m, k=g.k)
+            t_syrk = node.model.kernel_time("cpu", "syrk", m=g.m, k=g.k)
+            t1 = graph.add(
+                f"trsm:{tag}", worker.cpu_engine, b * t_trsm, (last,), "trsm"
+            )
+            last = graph.add(
+                f"syrk:{tag}", worker.cpu_engine, b * t_syrk, (t1,), "syrk"
+            )
+            single.update(trsm=t_trsm, syrk=t_syrk)
+        schedule_graph(graph, engines=node.engines)
+        assembly_seconds += t_asm
+        batch_tasks += 1
+        batched_factor_update(stack, g.k, g.sids)
+        for i, sid in enumerate(g.sids):
+            u = stack[i, g.k:, g.k:].copy() if g.m > 0 else None
+            batch_results[sid] = (stack[i, :, :g.k].copy(), u)
+        start = min(t.start for t in graph.tasks)
+        batch_span[(g.size, g.k)] = (last, start, last.end, single)
+
     schedule = sf.spost if spost is None else np.asarray(spost, dtype=np.int64)
     for s in schedule:
         s = int(s)
+        if s in batch_of:
+            g = batch_of[s]
+            if s not in batch_results:
+                run_batch(g)
+            panel, u = batch_results.pop(s)
+            final, start, end, single = batch_span[(g.size, g.k)]
+            final_task[s] = final
+            panels[s] = panel
+            if u is not None:
+                updates[s] = u
+                live_update_bytes += u.size * 8
+                peak_update_bytes = max(peak_update_bytes, live_update_bytes)
+            records.append(
+                FURecord(
+                    sid=s, m=g.m, k=g.k, policy="P1",
+                    start=start, end=end, components=dict(single),
+                    flops=factor_update_flops(g.m, g.k),
+                )
+            )
+            continue
         rows = sf.rows[s]
         k = sf.width(s)
         m = rows.size - k
@@ -247,6 +333,8 @@ def factorize_numeric(
         node=node,
         peak_update_bytes=peak_update_bytes,
         assembly_seconds=assembly_seconds,
+        batch_tasks=batch_tasks,
+        batched_fronts=batched_fronts,
     )
 
 

@@ -22,6 +22,11 @@ import numpy as np
 
 from repro.gpu.device import SimulatedNode
 from repro.matrices.csc import CSCMatrix
+from repro.multifrontal.batched import (
+    BatchParams,
+    batched_factor_update,
+    resolve_batchable_groups,
+)
 from repro.multifrontal.frontal import (
     assemble_front_planned,
     assembly_bytes,
@@ -68,6 +73,9 @@ class ParallelResult:
     #: populated by ``backend="dynamic"``: the full RuntimeResult
     #: (steal/admission/fault counters, spans, degraded task set)
     runtime: object | None = None
+    #: work dispatches the schedule issued (each batch group counts once);
+    #: ``None`` when the producing backend does not track it
+    task_dispatches: int | None = None
 
     @property
     def degraded(self) -> bool:
@@ -135,15 +143,22 @@ def list_schedule(
     *,
     gang_threshold: float = 5e7,
     gang_efficiency: float = 0.8,
+    batching: BatchParams | None = None,
 ) -> ParallelResult:
     """Compute the parallel schedule (no numerics).
 
     Returns start/end per supernode and the makespan.  With a single
-    worker this degenerates to the serial postorder sum.
+    worker this degenerates to the serial postorder sum.  When
+    ``batching`` is given, each group of same-shape host-P1 leaf fronts
+    is placed as *one* task (members share its start/end), cutting the
+    number of dispatched tasks without changing precedence.
     """
     n_super = sf.n_supernodes
     p = pool.n_workers
     dur, names = _task_durations(sf, policy, pool)
+    gpu_worker = pool.gpu_worker()
+    probe_worker = gpu_worker if gpu_worker is not None else pool.workers[0]
+    groups, batch_of = resolve_batchable_groups(sf, policy, batching, probe_worker)
 
     # upward rank: seconds from this task to the root, inclusive
     rank = dur.copy()
@@ -162,13 +177,34 @@ def list_schedule(
     # max-heap on upward rank (negated for heapq)
     import heapq
 
-    ready = [(-float(rank[s]), s) for s in range(n_super) if n_pending[s] == 0]
-    heapq.heapify(ready)
     finish = np.zeros(n_super)
     worker_free = [0.0] * p
     worker_busy = [0.0] * p
     schedule: list[ScheduledTask] = []
     done = 0
+    # batch groups first: members are leaves (ready at t=0); the whole
+    # group is one dispatched task on the earliest-free worker
+    for g in groups:
+        dur_g = float(sum(dur[s] for s in g.sids))
+        best_w = min(range(p), key=lambda w: (worker_free[w], w))
+        start = worker_free[best_w]
+        end = start + dur_g
+        worker_free[best_w] = end
+        worker_busy[best_w] += dur_g
+        for sid in g.sids:
+            schedule.append(ScheduledTask(sid, best_w, start, end, "P1", False))
+            finish[sid] = end
+            done += 1
+            parent = int(sf.sparent[sid])
+            if parent >= 0:
+                n_pending[parent] -= 1
+
+    ready = [
+        (-float(rank[s]), s)
+        for s in range(n_super)
+        if n_pending[s] == 0 and s not in batch_of
+    ]
+    heapq.heapify(ready)
     while ready:
         # highest-rank ready task first
         _, s = heapq.heappop(ready)
@@ -203,7 +239,11 @@ def list_schedule(
         raise AssertionError("scheduler failed to place every supernode")
     makespan = float(finish.max()) if n_super else 0.0
     schedule.sort(key=lambda t: t.start)
-    return ParallelResult(makespan, schedule, None, worker_busy)
+    batched_fronts = sum(len(g) for g in groups)
+    return ParallelResult(
+        makespan, schedule, None, worker_busy,
+        task_dispatches=n_super - batched_fronts + len(groups),
+    )
 
 
 def parallel_factorize(
@@ -217,6 +257,7 @@ def parallel_factorize(
     backend: str = "static",
     memory_budget: int | None = None,
     faults=None,
+    batching: BatchParams | None = None,
 ) -> ParallelResult:
     """Schedule *and* numerically factor.
 
@@ -233,6 +274,11 @@ def parallel_factorize(
     produce bit-identical factors.  The one exception is a task the
     dynamic runtime *degraded* after injected GPU failures: its numerics
     run on the host P1 path, exactly as its simulated execution did.
+
+    ``batching`` stacks same-shape host-P1 leaf fronts: the static
+    scheduler additionally dispatches each group as one task; the dynamic
+    runtime keeps its per-front schedule (dispatch-time policy selection
+    and stealing operate per task) but still runs the stacked numerics.
     """
     runtime = None
     degraded_sids: frozenset = frozenset()
@@ -245,6 +291,7 @@ def parallel_factorize(
         result = list_schedule(
             sf, policy, pool,
             gang_threshold=gang_threshold, gang_efficiency=gang_efficiency,
+            batching=batching,
         )
     elif backend == "dynamic":
         from repro.runtime.engine import dynamic_schedule
@@ -256,6 +303,10 @@ def parallel_factorize(
         result = ParallelResult(
             runtime.makespan, list(runtime.schedule),
             worker_busy=list(runtime.worker_busy), runtime=runtime,
+            # the dynamic runtime dispatches per front (policy selection
+            # and stealing happen at task granularity) even when the
+            # numerics below run stacked
+            task_dispatches=len(runtime.schedule),
         )
     else:
         raise ValueError(f"unknown backend {backend!r} (static | dynamic)")
@@ -266,7 +317,10 @@ def parallel_factorize(
         a, sf, policy, numeric_worker, pool.node,
         {t.sid: t for t in result.schedule},
         makespan=result.makespan, degraded_sids=degraded_sids,
+        batching=batching,
     )
+    if result.task_dispatches is None:
+        result.task_dispatches = result.factor.task_dispatches
     return result
 
 
@@ -280,6 +334,7 @@ def postorder_numeric_factor(
     *,
     makespan: float,
     degraded_sids: frozenset = frozenset(),
+    batching: BatchParams | None = None,
 ) -> NumericFactor:
     """Numeric factorization in canonical postorder against one worker.
 
@@ -298,8 +353,42 @@ def postorder_numeric_factor(
     updates: dict[int, np.ndarray] = {}
     records: list[FURecord] = []
     plan = get_assembly_plan(a_lower, sf)
+    # stacked numerics for batched groups (host P1 leaves): bit-identical
+    # per slice to the per-front path, so this never changes the factor.
+    # Degraded members run P1 either way, hence they can stay batched.
+    groups, batch_of = resolve_batchable_groups(
+        sf, policy, batching, numeric_worker
+    )
+    batch_results: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+
+    def run_batch(g) -> None:
+        stack = np.empty((len(g), g.size, g.size), dtype=np.float64)
+        for i, sid in enumerate(g.sids):
+            stack[i] = assemble_front_planned(plan, a_lower.data, g.size, sid, [])
+        batched_factor_update(stack, g.k, g.sids)
+        for i, sid in enumerate(g.sids):
+            u = stack[i, g.k:, g.k:].copy() if g.m > 0 else None
+            batch_results[sid] = (stack[i, :, :g.k].copy(), u)
+
     for s in sf.spost:
         s = int(s)
+        if s in batch_of:
+            g = batch_of[s]
+            if s not in batch_results:
+                run_batch(g)
+            panel, u = batch_results.pop(s)
+            panels[s] = panel
+            if u is not None:
+                updates[s] = u
+            t = by_sid[s]
+            records.append(
+                FURecord(
+                    sid=s, m=g.m, k=g.k, policy=t.policy,
+                    start=t.start, end=t.end,
+                    components={}, flops=factor_update_flops(g.m, g.k),
+                )
+            )
+            continue
         rows = sf.rows[s]
         k = sf.width(s)
         m = rows.size - k
@@ -332,4 +421,6 @@ def postorder_numeric_factor(
         records=records,
         makespan=makespan,
         node=node,
+        batch_tasks=len(groups),
+        batched_fronts=sum(len(g) for g in groups),
     )

@@ -16,8 +16,10 @@ numeric phase needs before touching a floating-point number:
 from repro.symbolic.etree import EliminationTree, elimination_tree, postorder
 from repro.symbolic.colcounts import column_counts, column_patterns
 from repro.symbolic.supernodes import (
+    AMALGAMATION_PRESETS,
     AmalgamationParams,
     amalgamate,
+    amalgamation_preset,
     fundamental_supernodes,
 )
 from repro.symbolic.symbolic import SymbolicFactor, symbolic_factorize
@@ -31,6 +33,8 @@ __all__ = [
     "fundamental_supernodes",
     "amalgamate",
     "AmalgamationParams",
+    "AMALGAMATION_PRESETS",
+    "amalgamation_preset",
     "SymbolicFactor",
     "symbolic_factorize",
 ]

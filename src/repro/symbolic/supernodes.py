@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.symbolic.etree import NO_PARENT
 
-__all__ = ["fundamental_supernodes", "AmalgamationParams", "amalgamate"]
+__all__ = [
+    "fundamental_supernodes",
+    "AmalgamationParams",
+    "AMALGAMATION_PRESETS",
+    "amalgamation_preset",
+    "amalgamate",
+]
 
 
 def fundamental_supernodes(parent: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -81,11 +87,53 @@ class AmalgamationParams:
     small_child : int
         Children at most this wide are always considered for merging
         (typical multifrontal codes aggressively fold tiny supernodes).
+    max_zeros : int or None
+        Absolute cap on the explicit zeros any single merge may add, on
+        top of the relative budget; ``None`` (the default) applies no
+        absolute cap.
+    passes : int
+        Number of greedy bottom-up sweeps.  One sweep (the default) only
+        merges supernodes that were adjacent in the *fundamental*
+        partition; later sweeps see the merged partition, so chains of
+        small supernodes keep folding until the budgets stop them.
     """
 
     max_zeros_fraction: float = 0.15
     max_width: int = 256
     small_child: int = 16
+    max_zeros: int | None = None
+    passes: int = 1
+
+    @classmethod
+    def off(cls) -> "AmalgamationParams":
+        """The paper-faithful fundamental-supernode tree (no merging)."""
+        return cls(max_width=0)
+
+    @classmethod
+    def aggressive(cls) -> "AmalgamationParams":
+        """Trade noticeably more explicit-zero fill for far fewer, fatter
+        fronts (fewer per-front dispatches; normwise-equivalent factor)."""
+        return cls(
+            max_zeros_fraction=0.35, max_width=512, small_child=48, passes=3
+        )
+
+
+#: named presets accepted by CLI flags and the verification lattice
+AMALGAMATION_PRESETS = ("default", "off", "aggressive")
+
+
+def amalgamation_preset(name: str) -> AmalgamationParams:
+    """Resolve a preset name to parameters (``default | off | aggressive``)."""
+    if name == "default":
+        return AmalgamationParams()
+    if name == "off":
+        return AmalgamationParams.off()
+    if name == "aggressive":
+        return AmalgamationParams.aggressive()
+    raise ValueError(
+        f"unknown amalgamation preset {name!r} "
+        f"(expected one of {', '.join(AMALGAMATION_PRESETS)})"
+    )
 
 
 def _supernode_parent(super_of: np.ndarray, super_ptr: np.ndarray,
@@ -102,22 +150,21 @@ def _supernode_parent(super_of: np.ndarray, super_ptr: np.ndarray,
     return sparent
 
 
-def amalgamate(
+def _amalgamation_sweep(
     super_ptr: np.ndarray,
     parent: np.ndarray,
-    counts: np.ndarray,
-    params: AmalgamationParams = AmalgamationParams(),
-) -> np.ndarray:
-    """Relaxed amalgamation of a fundamental-supernode partition.
+    front_rows: np.ndarray,
+    params: AmalgamationParams,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """One greedy bottom-up merging sweep over a contiguous partition.
 
-    Greedy bottom-up pass: a supernode is merged into its parent when the
-    parent directly follows it in column order (so the merged node stays a
-    contiguous column range) and the explicit-zero budget holds.  Returns a
-    new ``super_ptr``.
+    ``front_rows`` carries the (possibly amalgamated) row count of each
+    supernode's front, so later sweeps budget against the true merged
+    size rather than the first column's count.  Returns the new
+    ``super_ptr``, the carried-forward row counts, and whether any merge
+    happened.
     """
     n = parent.size
-    if params.max_width <= 0:
-        return super_ptr
     n_super = super_ptr.size - 1
     super_of = np.empty(n, dtype=np.int64)
     for s in range(n_super):
@@ -133,11 +180,11 @@ def amalgamate(
             s = merged_into[s]
         return s
 
-    # current (start, width, count-of-first-column) per representative
+    # current (start, width, front row count) per representative
     start = super_ptr[:-1].astype(np.int64).copy()
     width = np.diff(super_ptr).astype(np.int64)
-    # count of the first column of each supernode = rows in its front
-    first_count = counts[super_ptr[:-1]].copy()
+    first_count = front_rows.astype(np.int64).copy()
+    merged_any = False
 
     for s in range(n_super - 1):
         rep = find(s)
@@ -172,18 +219,54 @@ def amalgamate(
         if zeros > 4 * params.max_zeros_fraction * stored:
             # even tiny children shouldn't blow the budget completely
             continue
+        if params.max_zeros is not None and zeros > params.max_zeros:
+            continue
         # merge child rep into parent rep
         merged_into[rep] = prep
         start[prep] = start[rep]
         width[prep] = w_new
         first_count[prep] = merged_rows
         sparent[s] = NO_PARENT  # consumed
+        merged_any = True
 
     reps = sorted({find(s) for s in range(n_super)}, key=lambda s: int(start[s]))
     new_ptr = np.empty(len(reps) + 1, dtype=np.int64)
+    new_rows = np.empty(len(reps), dtype=np.int64)
     for i, s in enumerate(reps):
         new_ptr[i] = start[s]
+        new_rows[i] = first_count[s]
     new_ptr[-1] = n
     if not np.all(np.diff(new_ptr) > 0):
         raise AssertionError("amalgamation produced a non-contiguous partition")
-    return new_ptr
+    return new_ptr, new_rows, merged_any
+
+
+def amalgamate(
+    super_ptr: np.ndarray,
+    parent: np.ndarray,
+    counts: np.ndarray,
+    params: AmalgamationParams = AmalgamationParams(),
+) -> np.ndarray:
+    """Relaxed amalgamation of a fundamental-supernode partition.
+
+    Greedy bottom-up sweeps: a supernode is merged into its parent when
+    the parent directly follows it in column order (so the merged node
+    stays a contiguous column range) and the explicit-zero budget holds.
+    ``params.passes`` sweeps run (stopping early once a sweep merges
+    nothing); each later sweep sees the merged partition, so chains of
+    small supernodes keep folding.  Returns a new ``super_ptr``.
+    """
+    if params.max_width <= 0:
+        return super_ptr
+    if params.passes < 1:
+        raise ValueError("AmalgamationParams.passes must be >= 1")
+    # count of the first column of a fundamental supernode = rows in front
+    front_rows = counts[super_ptr[:-1]]
+    ptr = super_ptr
+    for _ in range(params.passes):
+        ptr, front_rows, merged_any = _amalgamation_sweep(
+            ptr, parent, front_rows, params
+        )
+        if not merged_any:
+            break
+    return ptr

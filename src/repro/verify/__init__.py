@@ -14,6 +14,7 @@ from repro.verify.harness import (
 from repro.verify.invariants import (
     InvariantReport,
     check_allocator_state,
+    check_amalgamated_structure,
     check_cache_key_purity,
     check_degraded_still_solves,
     check_factor_residual,
@@ -56,6 +57,7 @@ __all__ = [
     "verify_suite",
     "InvariantReport",
     "check_allocator_state",
+    "check_amalgamated_structure",
     "check_cache_key_purity",
     "check_degraded_still_solves",
     "check_factor_residual",

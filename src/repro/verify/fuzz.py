@@ -16,7 +16,14 @@ polite to reach:
   purity axis (same pattern key, distinct values keys);
 * ``permutation_heavy`` — a grid problem pre-scrambled by a random
   symmetric permutation, so the fill-reducing ordering has real work to
-  undo and two orderings genuinely disagree.
+  undo and two orderings genuinely disagree;
+* ``amalgamation_chain`` — a deep path with pendant leaves: maximal
+  chains of 1-column supernodes whose fronts differ just enough that
+  relaxed amalgamation has to spend its explicit-zero budget folding
+  them (the multi-pass merge logic's worst case);
+* ``tiny_leaf_forest`` — many bit-identical tiny blocks coupled to one
+  shared root: a forest of same-shape leaf fronts, the best and worst
+  case for batched small-front grouping.
 
 Failing cases are shrunk (:mod:`repro.verify.shrink`) and persisted as
 JSON witnesses; the corpus under ``tests/corpus/`` is replayed by the
@@ -123,12 +130,81 @@ def permutation_heavy(rng: np.random.Generator) -> CSCMatrix:
     return a.permute_symmetric(perm)
 
 
+def amalgamation_chain(rng: np.random.Generator) -> CSCMatrix:
+    """Deep path with pendant leaves hung off every ``stride``-th vertex.
+
+    The path alone folds into supernodes with no explicit zeros; each
+    pendant perturbs the adjacent fronts so the amalgamation sweep has
+    to weigh real fill against the merge — and multi-pass folding has
+    long 1-column chains to collapse between the pendants.
+    """
+    depth = int(rng.integers(40, 150))
+    stride = int(rng.integers(3, 7))
+    path = np.arange(depth - 1, dtype=np.int64)
+    anchors = np.arange(0, depth, stride, dtype=np.int64)
+    pendants = depth + np.arange(anchors.size, dtype=np.int64)
+    n = depth + anchors.size
+    # undirected edges once, then mirrored with one shared weight vector
+    und_i = np.concatenate([path, anchors])
+    und_j = np.concatenate([path + 1, pendants])
+    w = rng.uniform(0.5, 1.5, size=und_i.size)
+    ei = np.concatenate([und_i, und_j])
+    ej = np.concatenate([und_j, und_i])
+    wv = np.concatenate([w, w])
+    diag = np.zeros(n)
+    np.add.at(diag, ei, wv)
+    ids = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([ei, ids])
+    cols = np.concatenate([ej, ids])
+    vals = np.concatenate([-wv, diag + 0.05])
+    return CSCMatrix.from_coo(rows, cols, vals, (n, n))
+
+
+def tiny_leaf_forest(rng: np.random.Generator) -> CSCMatrix:
+    """Many copies of one tiny path block, each coupled to one root.
+
+    Every block carries the *same* values, so its leaf fronts are
+    bit-identical and all land in one batch group; the shared root keeps
+    the matrix irreducible and gives the groups a common parent to
+    extend-add into.
+    """
+    b = int(rng.integers(3, 7))
+    copies = int(rng.integers(8, 30))
+    w = rng.uniform(0.5, 1.5, size=b - 1)   # one weight vector, all copies
+    couple = float(rng.uniform(0.1, 0.4))
+    n = b * copies + 1
+    root = n - 1
+    rows_l, cols_l, vals_l = [], [], []
+    for c in range(copies):
+        base = c * b
+        ids = base + np.arange(b - 1, dtype=np.int64)
+        rows_l += [ids, ids + 1]
+        cols_l += [ids + 1, ids]
+        vals_l += [-w, -w]
+        # couple the block's last vertex to the shared root
+        last = base + b - 1
+        rows_l += [np.array([last, root]), np.array([root, last])]
+        cols_l += [np.array([root, last]), np.array([last, root])]
+        vals_l += [np.array([-couple] * 2), np.array([-couple] * 2)]
+    ei = np.concatenate(rows_l)
+    w_all = -np.concatenate(vals_l)
+    diag = np.zeros(n)
+    np.add.at(diag, ei, w_all)
+    ids = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([ei, ids])
+    cols = np.concatenate([np.concatenate(cols_l), ids])
+    vals = np.concatenate([np.concatenate(vals_l), diag + 0.05])
+    return CSCMatrix.from_coo(rows, cols, vals, (n, n))
+
+
 FUZZ_GENERATORS = {
     "near_singular": near_singular,
     "wide_front": wide_front,
     "skinny_chain": skinny_chain,
     "duplicate_pattern": duplicate_pattern,
     "permutation_heavy": permutation_heavy,
+    "amalgamation_chain": amalgamation_chain,
+    "tiny_leaf_forest": tiny_leaf_forest,
 }
 
 
@@ -257,6 +333,7 @@ def _check_case(a: CSCMatrix, pairs) -> tuple[str, list[str], object] | None:
     candidate matrix — this is what the shrinker minimizes against.
     """
     from repro.verify.invariants import (
+        check_amalgamated_structure,
         check_factor_residual,
         check_symbolic_structure,
         check_update_conservation,
@@ -267,7 +344,11 @@ def _check_case(a: CSCMatrix, pairs) -> tuple[str, list[str], object] | None:
     def structural(m: CSCMatrix) -> list[str]:
         full = m if m.is_structurally_symmetric() else m.symmetrize_from_lower()
         sf = symbolic_factorize(full, ordering="amd")
-        return check_symbolic_structure(sf) + check_update_conservation(sf)
+        return (
+            check_symbolic_structure(sf)
+            + check_update_conservation(sf)
+            + check_amalgamated_structure(full)
+        )
 
     checks: list[tuple[str, object]] = [
         ("structural-invariants", structural),

@@ -16,6 +16,11 @@ Checkers
 * :func:`check_update_conservation` — every update matrix produced by a
   schedule is consumed exactly once, by the producer's parent, after it
   was produced; nothing is left on the stack at the end.
+* :func:`check_amalgamated_structure` — every amalgamation preset's
+  coarser tree still satisfies extend-add containment and update-stack
+  conservation, and each amalgamated supernode boundary coincides with
+  a fundamental-supernode boundary (amalgamation only merges, it never
+  splits or shifts columns).
 * :func:`check_schedule_precedence` — a timed (possibly parallel)
   schedule runs every supernode exactly once and never starts a parent
   before its children finished.
@@ -57,6 +62,7 @@ __all__ = [
     "InvariantReport",
     "check_symbolic_structure",
     "check_update_conservation",
+    "check_amalgamated_structure",
     "check_schedule_precedence",
     "check_allocator_state",
     "check_cache_key_purity",
@@ -161,6 +167,65 @@ def check_update_conservation(
             f"unconsumed update matrices at end of schedule: "
             f"{sorted(leftovers)[:8]}"
         )
+    return violations
+
+
+def check_amalgamated_structure(
+    a: CSCMatrix, *, ordering: str = "amd"
+) -> list[str]:
+    """Amalgamated supernode trees keep the structural promises.
+
+    Symbolically factors ``a`` under every amalgamation preset and
+    checks, for each resulting tree, that extend-add containment and
+    update-stack conservation still hold (under both schedule
+    flavours).  Additionally the coarser partitions must *refine into*
+    the fundamental one: every amalgamated supernode boundary is also a
+    fundamental-supernode boundary, and amalgamation never increases
+    the supernode count.
+    """
+    from repro.symbolic.stack import stack_minimizing_postorder
+    from repro.symbolic.supernodes import (
+        AMALGAMATION_PRESETS,
+        amalgamation_preset,
+    )
+    from repro.symbolic.symbolic import symbolic_factorize
+
+    violations: list[str] = []
+    full = a if a.is_structurally_symmetric() else a.symmetrize_from_lower()
+    factors = {
+        preset: symbolic_factorize(
+            full, ordering=ordering,
+            amalgamation=amalgamation_preset(preset),
+        )
+        for preset in AMALGAMATION_PRESETS
+    }
+    fundamental = {int(p) for p in factors["off"].super_ptr}
+    for preset, sf in factors.items():
+        tag = f"amalgamation={preset}"
+        violations += [f"{tag}: {v}" for v in check_symbolic_structure(sf)]
+        violations += [
+            f"{tag}/post: {v}" for v in check_update_conservation(sf)
+        ]
+        violations += [
+            f"{tag}/liu: {v}"
+            for v in check_update_conservation(
+                sf, stack_minimizing_postorder(sf)
+            )
+        ]
+        if preset == "off":
+            continue
+        stray = [int(p) for p in sf.super_ptr if int(p) not in fundamental]
+        if stray:
+            violations.append(
+                f"{tag}: supernode boundaries {stray[:5]} do not coincide "
+                "with fundamental-supernode boundaries — amalgamation "
+                "split or shifted columns instead of merging"
+            )
+        if sf.n_supernodes > factors["off"].n_supernodes:
+            violations.append(
+                f"{tag}: {sf.n_supernodes} supernodes exceeds the "
+                f"fundamental count {factors['off'].n_supernodes}"
+            )
     return violations
 
 
@@ -495,6 +560,7 @@ def run_invariants(
             "update-conservation/liu",
             check_update_conservation(sf, stack_minimizing_postorder(sf)),
         ),
+        _report("amalgamated-structure", check_amalgamated_structure(full)),
     ]
     if include_behavioural:
         config = VerifyConfig()

@@ -47,8 +47,10 @@ import numpy as np
 from repro.gpu.device import SimulatedNode
 from repro.gpu.perfmodel import tesla_t10_model
 from repro.matrices.csc import CSCMatrix
+from repro.multifrontal.batched import BatchParams
 from repro.multifrontal.solver import SparseCholeskySolver
 from repro.policies.base import PolicyP4, make_policy
+from repro.symbolic.supernodes import AMALGAMATION_PRESETS, amalgamation_preset
 
 __all__ = [
     "VerifyConfig",
@@ -85,6 +87,8 @@ class VerifyConfig:
     ordering: str = "amd"
     panel_width: int | None = None     # P4 blocked panel width override
     nodes: int = 1                     # cluster rank count (cluster only)
+    amalgamation: str = "default"      # "default" | "off" | "aggressive"
+    batch_cutoff: int = 0              # stack leaf fronts <= this; 0 = off
 
     def __post_init__(self):
         if self.schedule not in ("post", "liu"):
@@ -99,6 +103,14 @@ class VerifyConfig:
             raise ValueError("nodes must be >= 1")
         if self.nodes > 1 and self.backend != "cluster":
             raise ValueError("nodes > 1 requires backend='cluster'")
+        if self.amalgamation not in AMALGAMATION_PRESETS:
+            raise ValueError(
+                f"unknown amalgamation preset {self.amalgamation!r}"
+            )
+        if self.batch_cutoff < 0:
+            raise ValueError("batch_cutoff must be >= 0")
+        if self.batch_cutoff > 0 and self.backend == "cluster":
+            raise ValueError("batching is not supported on the cluster backend")
 
     @property
     def label(self) -> str:
@@ -109,6 +121,10 @@ class VerifyConfig:
                  self.ordering]
         if self.panel_width is not None:
             parts.append(f"w{self.panel_width}")
+        if self.amalgamation != "default":
+            parts.append(f"amalg-{self.amalgamation}")
+        if self.batch_cutoff > 0:
+            parts.append(f"batch{self.batch_cutoff}")
         return "/".join(parts)
 
     # ------------------------------------------------------------------
@@ -138,6 +154,14 @@ class VerifyConfig:
             cluster = ClusterSpec(
                 n_ranks=self.nodes, gpus_per_rank=1, model=node.model
             )
+        amalgamation = (
+            None if self.amalgamation == "default"
+            else amalgamation_preset(self.amalgamation)
+        )
+        batching = (
+            BatchParams(front_cutoff=self.batch_cutoff)
+            if self.batch_cutoff > 0 else None
+        )
         return SparseCholeskySolver(
             a,
             ordering=self.ordering,
@@ -146,6 +170,8 @@ class VerifyConfig:
             schedule=self.schedule,
             backend=self.backend,
             cluster=cluster,
+            amalgamation=amalgamation,
+            batching=batching,
             **kwargs,
         )
 
@@ -301,6 +327,11 @@ def default_pairs(*, gpu_policy: str = "P4") -> list[ConfigPair]:
     change the float stream, but refinement must restore double-precision
     backward error and the two solutions must agree to a
     condition-scaled bound.
+
+    Amalgamation pairs are normwise (a coarser supernode partition
+    reorders the float stream); batching pairs are **bitwise** because
+    stacked small-front execution must not change a single bit of the
+    factors.
     """
     p1 = VerifyConfig(policy="P1")
     gpu = VerifyConfig(policy=gpu_policy)
@@ -353,6 +384,36 @@ def default_pairs(*, gpu_policy: str = "P4") -> list[ConfigPair]:
         ConfigPair(
             "ordering amd vs nd", p1,
             dataclasses.replace(p1, ordering="nd"), "normwise",
+        ),
+        ConfigPair(
+            "amalgamation default vs aggressive (serial)", p1,
+            dataclasses.replace(p1, amalgamation="aggressive"), "normwise",
+        ),
+        ConfigPair(
+            "amalgamation default vs aggressive (static)",
+            dataclasses.replace(p1, backend="static"),
+            dataclasses.replace(p1, backend="static",
+                                amalgamation="aggressive"), "normwise",
+        ),
+        ConfigPair(
+            "amalgamation default vs aggressive (dynamic)",
+            dataclasses.replace(p1, backend="dynamic"),
+            dataclasses.replace(p1, backend="dynamic",
+                                amalgamation="aggressive"), "normwise",
+        ),
+        ConfigPair(
+            "amalgamation default vs off (serial)", p1,
+            dataclasses.replace(p1, amalgamation="off"), "normwise",
+        ),
+        ConfigPair(
+            "batched vs unbatched (serial)", p1,
+            dataclasses.replace(p1, batch_cutoff=48), "bitwise",
+        ),
+        ConfigPair(
+            "batched vs unbatched (static)",
+            dataclasses.replace(p1, backend="static"),
+            dataclasses.replace(p1, backend="static", batch_cutoff=48),
+            "bitwise",
         ),
     ]
 

@@ -100,6 +100,60 @@ class TestTreeProfile:
         assert "#" in text
 
 
+class TestProfileMatchesAmalgamatedTree:
+    """Regression: the profile must describe the symbolic factor
+    actually used — the post-amalgamation tree, not the fundamental
+    one (fronts, widths, depth and flop totals all shift when
+    amalgamation merges supernodes)."""
+
+    @pytest.mark.parametrize("preset", ("off", "default", "aggressive"))
+    def test_profile_totals_match_symbolic_factor(self, lap3d_small, preset):
+        from repro.symbolic import amalgamation_preset
+        from repro.symbolic.symbolic import factor_update_flops
+
+        sf = symbolic_factorize(
+            lap3d_small, ordering="nd",
+            amalgamation=amalgamation_preset(preset),
+        )
+        p = profile_tree(sf, amalgamation=preset)
+        assert p.amalgamation == preset
+        assert p.n_supernodes == sf.n_supernodes
+        assert p.nnz_factor == sf.nnz_factor
+        assert int(p.widths.sum()) == sf.n        # widths partition columns
+        expected = sum(
+            sum(factor_update_flops(int(m), int(k)))
+            for m, k in sf.mk_pairs()
+        )
+        assert p.total_flops == pytest.approx(expected)
+
+    def test_amalgamated_profile_differs_from_fundamental(self, lap3d_small):
+        from repro.symbolic import amalgamation_preset
+
+        off = profile_tree(symbolic_factorize(
+            lap3d_small, ordering="nd",
+            amalgamation=amalgamation_preset("off")))
+        agg = profile_tree(symbolic_factorize(
+            lap3d_small, ordering="nd",
+            amalgamation=amalgamation_preset("aggressive")))
+        assert agg.n_supernodes < off.n_supernodes
+        assert agg.mean_width > off.mean_width
+
+    def test_profile_matches_solver_tree(self, lap3d_small):
+        # what the solver reports must be the tree the profile describes
+        from repro.multifrontal import SparseCholeskySolver
+        from repro.symbolic import amalgamation_preset
+
+        solver = SparseCholeskySolver(
+            lap3d_small, ordering="nd", policy="P1",
+            amalgamation=amalgamation_preset("aggressive"),
+        )
+        solver.analyze().factorize()
+        p = profile_tree(solver.symbolic, amalgamation="aggressive")
+        assert p.n_supernodes == solver.stats.n_supernodes
+        assert p.nnz_factor == solver.stats.nnz_factor
+        assert p.total_flops == pytest.approx(float(solver.stats.total_flops))
+
+
 class TestCliProfile:
     def test_profile_workload(self, capsys):
         from repro.cli import main
@@ -115,3 +169,22 @@ class TestCliProfile:
         path = tmp_path / "m.mtx"
         main(["generate", "lap3d", "5", "5", "5", "--out", str(path)])
         assert main(["profile", str(path), "--ordering", "amd"]) == 0
+
+    def test_profile_amalgamation_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "m.mtx"
+        main(["generate", "lap3d", "6", "6", "6", "--out", str(path)])
+
+        def supernodes(extra):
+            assert main(["profile", str(path), "--ordering", "amd",
+                         *extra]) == 0
+            out = capsys.readouterr().out
+            return int(out.split("supernodes = ")[1].split(",")[0])
+
+        n_off = supernodes(["--amalgamation", "off"])
+        n_agg = supernodes(["--amalgamation", "aggressive"])
+        assert n_agg < n_off
+        assert main(["profile", str(path), "--amalgamation",
+                     "aggressive"]) == 0
+        assert "amalgamation: aggressive" in capsys.readouterr().out

@@ -29,8 +29,8 @@ from hypothesis import strategies as st
 
 from repro.gpu import SimulatedNode
 from repro.matrices import random_spd
-from repro.multifrontal import SparseCholeskySolver, factorize_numeric
-from repro.symbolic import symbolic_factorize
+from repro.multifrontal import BatchParams, SparseCholeskySolver, factorize_numeric
+from repro.symbolic import amalgamation_preset, symbolic_factorize
 from repro.verify.lattice import factor_fingerprint
 
 BACKENDS = ("serial", "static", "dynamic")
@@ -145,6 +145,103 @@ class TestRunToRunStability:
         )
         assert factor_fingerprint(nf) == factor_fingerprint(solver.factor)
         assert float(nf.makespan) == float(solver.stats.simulated_seconds)
+
+
+class TestAmalgamationProperties:
+    """Relaxed amalgamation is a *normwise* transformation: any preset
+    must still factor the matrix to double-precision residual, and the
+    coarser partitions must refine into the fundamental one."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(spd_problem(), st.sampled_from(("off", "default", "aggressive")))
+    def test_normwise_correct_under_every_preset(self, a, preset):
+        from repro.verify import check_factor_residual
+        from repro.verify.lattice import VerifyConfig
+
+        config = VerifyConfig(policy="P1", amalgamation=preset)
+        assert check_factor_residual(a, config) == []
+
+    @settings(max_examples=8, deadline=None)
+    @given(spd_problem())
+    def test_presets_only_merge_fundamental_supernodes(self, a):
+        sym = {
+            preset: symbolic_factorize(
+                a, ordering="nd", amalgamation=amalgamation_preset(preset)
+            )
+            for preset in ("off", "default", "aggressive")
+        }
+        fundamental = {int(p) for p in sym["off"].super_ptr}
+        for preset in ("default", "aggressive"):
+            assert sym[preset].n_supernodes <= sym["off"].n_supernodes
+            assert {int(p) for p in sym[preset].super_ptr} <= fundamental
+
+    @settings(max_examples=8, deadline=None)
+    @given(spd_problem())
+    def test_amalgamated_factor_is_backend_invariant(self, a):
+        # the coarser tree changes the floats vs the default tree, but
+        # across backends *on that tree* the factor stays bitwise equal
+        sym = symbolic_factorize(
+            a, ordering="nd", amalgamation=amalgamation_preset("aggressive")
+        )
+        prints = {
+            factor_fingerprint(_run_backend(a, sym, b).factor)
+            for b in BACKENDS
+        }
+        assert len(prints) == 1
+
+
+class TestBatchedExecutionProperties:
+    """Stacked small-front execution is a *bitwise* transformation: at
+    any cutoff the factors and the deterministic counters match the
+    unbatched run exactly."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(spd_problem(), st.integers(0, 64), st.sampled_from(BACKENDS))
+    def test_bit_identical_factor_at_any_cutoff(self, a, cutoff, backend):
+        sym = symbolic_factorize(a, ordering="nd")
+        base = _run_backend(a, sym, backend)
+        batched = SparseCholeskySolver.from_symbolic(
+            a, sym, policy="P1", backend=backend,
+            batching=BatchParams(front_cutoff=cutoff),
+        )
+        batched.factorize()
+        assert factor_fingerprint(batched.factor) == factor_fingerprint(
+            base.factor
+        )
+        # flop counters are pattern-only: bit-stable under batching
+        assert float(batched.stats.total_flops) == float(
+            base.stats.total_flops
+        )
+        assert len(batched.factor.records) == len(base.factor.records)
+
+    @settings(max_examples=10, deadline=None)
+    @given(spd_problem(), st.integers(1, 64))
+    def test_dispatch_accounting_conserved(self, a, cutoff):
+        sym = symbolic_factorize(a, ordering="nd")
+        solver = SparseCholeskySolver.from_symbolic(
+            a, sym, policy="P1", backend="serial",
+            batching=BatchParams(front_cutoff=cutoff),
+        )
+        solver.factorize()
+        nf = solver.factor
+        n_super = sym.n_supernodes
+        assert nf.task_dispatches == n_super - nf.batched_fronts + nf.batch_tasks
+        if nf.batch_tasks:
+            # every batch stacks at least min_batch fronts
+            assert nf.batched_fronts >= 2 * nf.batch_tasks
+            assert nf.task_dispatches < n_super
+        else:
+            assert nf.batched_fronts == 0
+            assert nf.task_dispatches == n_super
+        # run-to-run: the counters are bit-stable
+        again = SparseCholeskySolver.from_symbolic(
+            a, sym, policy="P1", backend="serial",
+            batching=BatchParams(front_cutoff=cutoff),
+        )
+        again.factorize()
+        assert (again.factor.batch_tasks, again.factor.batched_fronts) == (
+            nf.batch_tasks, nf.batched_fronts
+        )
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.matrices import grid_laplacian_2d, random_spd
 from repro.matrices.csc import CSCMatrix
 from repro.symbolic import symbolic_factorize
 from repro.verify import (
+    check_amalgamated_structure,
     VerifyConfig,
     check_factor_residual,
     check_schedule_precedence,
@@ -269,6 +270,68 @@ class TestInjectedBug:
         replayed, meta = load_case(failure.witness_path)
         assert replayed.allclose(failure.witness)
         assert meta["check"] == failure.check
+
+
+# ----------------------------------------------------------------------
+# an injected amalgamation off-by-one is caught and ddmin-shrunk
+# ----------------------------------------------------------------------
+@pytest.fixture
+def broken_amalgamate(monkeypatch):
+    """Off-by-one injection: whenever amalgamation actually merges,
+    emit one boundary strictly *inside* a width->=2 fundamental
+    supernode.  The partition stays contiguous and numerically
+    consistent — only the coarsening invariant (amalgamated boundaries
+    must coincide with fundamental boundaries) can catch it."""
+    import repro.symbolic.symbolic as sym
+
+    orig = sym.amalgamate
+
+    def bad_amalgamate(super_ptr, parent, counts, params):
+        out = orig(super_ptr, parent, counts, params)
+        if out.size == super_ptr.size:     # nothing merged: leave it alone
+            return out
+        widths = np.diff(super_ptr)
+        wide = np.nonzero(widths >= 2)[0]
+        if wide.size == 0:                 # no splittable fundamental node
+            return out
+        inside = int(super_ptr[wide[0]]) + 1
+        return np.unique(np.concatenate([out, [inside]]))
+
+    monkeypatch.setattr(sym, "amalgamate", bad_amalgamate)
+    return bad_amalgamate
+
+
+class TestInjectedAmalgamationBug:
+    def test_clean_amalgamation_passes(self):
+        assert not check_amalgamated_structure(grid_laplacian_2d(8, 8))
+
+    def test_invariant_catches_off_by_one(self, broken_amalgamate):
+        violations = check_amalgamated_structure(grid_laplacian_2d(8, 8))
+        assert violations
+        assert any("fundamental" in v or "containment" in v
+                   for v in violations)
+
+    def test_off_by_one_shrinks_to_minimal_witness(self, broken_amalgamate):
+        a = grid_laplacian_2d(8, 8)
+        result = shrink_matrix(
+            a, lambda m: bool(check_amalgamated_structure(m))
+        )
+        assert result.n < a.n_rows
+        assert check_amalgamated_structure(result.matrix)
+
+    def test_fuzz_driver_catches_and_shrinks(
+        self, broken_amalgamate, tmp_path
+    ):
+        report = run_fuzz(
+            budget_seconds=30.0, seed=0, max_cases=8,
+            pairs=[], witness_dir=tmp_path, max_failures=1,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.check == "structural-invariants"
+        assert failure.witness.n_rows <= failure.shrunk_from
+        replayed, meta = load_case(failure.witness_path)
+        assert replayed.allclose(failure.witness)
 
 
 # ----------------------------------------------------------------------
